@@ -1,0 +1,84 @@
+"""Section II-B — CH point-to-point queries and preprocessing.
+
+Paper: random s–t queries settle < 400 vertices (of 18M) and run in a
+fraction of a millisecond; the loose-stopping forward-only search
+settles ~500; preprocessing takes ~5 minutes on 4 cores and adds fewer
+shortcuts than original arcs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import fmt, load_instance, print_table, random_sources, time_ms
+from repro.ch import ch_query, upward_search
+from repro.sssp import dijkstra
+
+
+def run(quiet: bool = False):
+    inst = load_instance()
+    g, ch = inst.graph, inst.ch
+    pairs = list(zip(random_sources(g.n, 50, 1), random_sources(g.n, 50, 2)))
+
+    settled = [
+        ch_query(ch, s, t).settled_forward + ch_query(ch, s, t).settled_backward
+        for s, t in pairs[:25]
+    ]
+    stalled = [
+        (lambda q: q.settled_forward + q.settled_backward)(
+            ch_query(ch, s, t, stall=True)
+        )
+        for s, t in pairs[:25]
+    ]
+    upward_sizes = [upward_search(ch, s).size for s, _ in pairs[:25]]
+    t_query = time_ms(lambda: [ch_query(ch, s, t) for s, t in pairs[:10]], 3) / 10
+    t_dij = time_ms(
+        lambda: dijkstra(g, pairs[0][0], target=pairs[0][1]), 3
+    )
+
+    rows = [
+        ["avg settled (bidirectional)", fmt(np.mean(settled), 1), "< 400 of 18M"],
+        ["avg settled, stall-on-demand", fmt(np.mean(stalled), 1), "(CH paper opt.)"],
+        ["avg upward search space", fmt(np.mean(upward_sizes), 1), "~500"],
+        ["CH query ms", fmt(t_query, 3), "fraction of a ms"],
+        ["p2p Dijkstra ms", fmt(t_dij, 2), "-"],
+        ["shortcuts / original arcs", fmt(ch.num_shortcuts / g.m, 2), "< 1"],
+        ["CH preprocessing s", fmt(inst.build_seconds, 1), "~300 (4 cores, 18M)"],
+    ]
+    if not quiet:
+        print_table(f"CH queries (n={g.n})", ["quantity", "measured", "paper"], rows)
+    return rows
+
+
+# -- pytest shape checks -----------------------------------------------------
+
+
+def test_search_space_tiny_fraction(europe):
+    sizes = [
+        upward_search(europe.ch, s).size
+        for s in random_sources(europe.graph.n, 20, 3)
+    ]
+    assert np.mean(sizes) < europe.graph.n * 0.05
+
+
+def test_fewer_shortcuts_than_arcs(europe):
+    assert europe.ch.num_shortcuts < europe.graph.m
+
+
+def test_query_faster_than_p2p_dijkstra(europe):
+    s, t = 0, europe.graph.n - 1
+    t_ch = time_ms(lambda: ch_query(europe.ch, s, t), 5)
+    t_dij = time_ms(lambda: dijkstra(europe.graph, s, target=t), 3)
+    assert t_ch < t_dij
+
+
+def test_bench_ch_query(benchmark, europe):
+    benchmark(lambda: ch_query(europe.ch, 0, europe.graph.n - 1))
+
+
+def test_bench_upward_search(benchmark, europe):
+    benchmark(lambda: upward_search(europe.ch, 0))
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,68 @@
+"""Figure 1 — vertices per CH level.
+
+The paper's histogram: ~half of all vertices on level 0, all but ~10k
+in the lowest 20 levels, ~140 levels total for Europe with travel
+times.  This target prints the measured histogram of the synthetic
+instance and checks the same qualitative shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import load_instance, print_table
+
+
+def run(instance=None, quiet: bool = False) -> np.ndarray:
+    inst = instance or load_instance()
+    hist = inst.ch.level_histogram()
+    n = inst.graph.n
+    if not quiet:
+        rows = []
+        cum = 0
+        for lvl, count in enumerate(hist):
+            cum += int(count)
+            if lvl < 15 or count > 0 and lvl % 5 == 0 or lvl == hist.size - 1:
+                rows.append(
+                    [lvl, int(count), f"{count / n * 100:.1f}%", f"{cum / n * 100:.1f}%"]
+                )
+        print_table(
+            f"Figure 1: vertices per level ({inst.name}, {hist.size} levels)",
+            ["level", "vertices", "share", "cumulative"],
+            rows,
+        )
+        print(
+            f"paper (Europe/time): 140 levels, ~50% of vertices on level 0, "
+            f"all but ~10k vertices in the lowest 20 levels"
+        )
+    return hist
+
+
+# -- pytest checks on the paper's shape claims ---------------------------
+
+
+def test_level_zero_dominates(europe):
+    hist = europe.ch.level_histogram()
+    assert hist[0] == hist.max()
+    assert hist[0] > 0.2 * europe.graph.n
+
+
+def test_mass_concentrated_in_low_levels(europe):
+    hist = europe.ch.level_histogram()
+    low20 = hist[: min(20, hist.size)].sum()
+    assert low20 > 0.9 * europe.graph.n
+
+
+def test_counts_decay_with_level(europe):
+    hist = europe.ch.level_histogram().astype(float)
+    # Top half of the hierarchy holds a tiny fraction of vertices.
+    top_half = hist[hist.size // 2 :].sum()
+    assert top_half < 0.05 * europe.graph.n
+
+
+def test_histogram_bench(benchmark, europe):
+    benchmark(europe.ch.level_histogram)
+
+
+if __name__ == "__main__":
+    run()

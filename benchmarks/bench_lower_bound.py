@@ -1,0 +1,134 @@
+"""Section VIII-B — the memory-bandwidth lower bound.
+
+The paper bounds PHAST from below with a pass that streams ``first``,
+the arc list and the distance array and writes every distance: 65.6 ms
+on M1-4, with PHAST 2.6x above it; a branchy traversal that only sums
+arc lengths lands at 153 ms, 19 ms under PHAST — evidence that further
+reordering cannot help much.
+
+Reproduced at benchmark scale with NumPy equivalents of all three
+passes, and at paper scale via the cost model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import (
+    EUROPE_COUNTS,
+    fmt,
+    load_instance,
+    print_table,
+    time_ms,
+)
+from repro.simulator import CostModel, machine
+
+
+def streaming_pass(sweep, dist):
+    """The lower-bound kernel: touch all arrays sequentially."""
+    s = 0
+    s += int(sweep.arc_first[-1])
+    # NumPy sums stream the arrays at memory bandwidth.
+    s += int(sweep.arc_tail_pos.sum())
+    s += int(sweep.arc_len.sum())
+    s += int(dist.sum())
+    dist[:] = 0
+    return s
+
+
+def traversal_pass(sweep, dist):
+    """The paper's 'traverse like PHAST but only sum lengths' probe:
+    per-level segment sums instead of shortest-path minima."""
+    for i in range(sweep.num_levels):
+        lo, hi = sweep.level_slice(i)
+        alo, ahi = sweep.level_arc_slice(i)
+        if ahi > alo:
+            seg = np.add.reduceat(
+                sweep.arc_len[alo:ahi],
+                (sweep.arc_first[lo:hi] - alo).clip(0, ahi - alo - 1),
+            )
+            dist[lo : lo + seg.size] = seg
+    return dist
+
+
+def run(quiet: bool = False):
+    inst = load_instance()
+    eng = inst.engine()
+    sw = eng.sweep
+    dist = np.zeros(sw.n, dtype=np.int64)
+
+    t_lb = time_ms(lambda: streaming_pass(sw, dist), 10)
+    t_trav = time_ms(lambda: traversal_pass(sw, dist), 10)
+    t_phast = time_ms(lambda: eng.tree(0), 10)
+
+    rows = [
+        ["lower bound (stream all arrays)", fmt(t_lb, 3), "65.6"],
+        ["graph traversal, sum only", fmt(t_trav, 3), "153"],
+        ["PHAST", fmt(t_phast, 3), "172"],
+        ["PHAST / lower bound", fmt(t_phast / t_lb, 2), "2.6"],
+    ]
+    if not quiet:
+        print_table(
+            f"Section VIII-B lower bound, measured (n={sw.n})",
+            ["pass", "ms", "paper ms"],
+            rows,
+        )
+        print(
+            "note: at this scale NumPy streams from cache, so the measured "
+            "PHAST/LB ratio is inflated by per-level Python overhead; the "
+            "modeled table below is the paper-scale comparison"
+        )
+
+    cm = CostModel(machine("M1-4"))
+    mrows = [
+        ["lower bound", fmt(cm.phast_lower_bound(EUROPE_COUNTS), 1), "65.6"],
+        ["PHAST", fmt(cm.phast_single(EUROPE_COUNTS), 0), "172"],
+        [
+            "ratio",
+            fmt(cm.phast_single(EUROPE_COUNTS) / cm.phast_lower_bound(EUROPE_COUNTS), 2),
+            "2.6",
+        ],
+        [
+            "lower bound, 4 cores, k=16",
+            fmt(cm.phast_lower_bound(EUROPE_COUNTS, 4, 16), 1),
+            "12.8",
+        ],
+    ]
+    if not quiet:
+        print_table(
+            "Section VIII-B modeled at paper scale (M1-4)",
+            ["pass", "ms", "paper ms"],
+            mrows,
+        )
+    return t_lb, t_trav, t_phast
+
+
+# -- pytest shape checks -----------------------------------------------------
+
+
+def test_lower_bound_orders(europe):
+    eng = europe.engine()
+    sw = eng.sweep
+    dist = np.zeros(sw.n, dtype=np.int64)
+    t_lb = time_ms(lambda: streaming_pass(sw, dist), 10)
+    t_phast = time_ms(lambda: eng.tree(0), 10)
+    # PHAST sits above the streaming floor.  (At this scale the factor
+    # is dominated by per-level Python overhead, so only the ordering
+    # is asserted; the paper's 2.6x is checked on the cost model.)
+    assert t_lb < t_phast
+
+
+def test_modeled_ratio_matches_paper():
+    cm = CostModel(machine("M1-4"))
+    ratio = cm.phast_single(EUROPE_COUNTS) / cm.phast_lower_bound(EUROPE_COUNTS)
+    assert 2.0 < ratio < 3.2  # paper: 2.6
+
+
+def test_bench_streaming_pass(benchmark, europe):
+    sw = europe.engine().sweep
+    dist = np.zeros(sw.n, dtype=np.int64)
+    benchmark(lambda: streaming_pass(sw, dist))
+
+
+if __name__ == "__main__":
+    run()

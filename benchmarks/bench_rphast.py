@@ -1,0 +1,119 @@
+"""Extension — RPHAST: one-to-many queries on restricted sweeps.
+
+Not a paper table: this reproduces the follow-up the PHAST paper set
+up (restricted sweeps for batched one-to-many / many-to-many queries,
+Delling, Goldberg & Werneck).  Expected shape: selection size and
+query time grow sublinearly with the target count, and for small
+target sets RPHAST beats both a full PHAST sweep and per-target
+Dijkstra by a wide margin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import fmt, load_instance, print_table, random_sources, time_ms
+from repro.core import RPhastEngine, many_to_many_buckets
+from repro.sssp import dijkstra
+
+TARGET_COUNTS = (4, 16, 64, 256, 1024)
+MATRIX_SIZES = (4, 16, 64)
+
+
+def run(quiet: bool = False):
+    inst = load_instance()
+    g, ch = inst.graph, inst.ch
+    eng_full = inst.engine()
+    t_full = time_ms(lambda: eng_full.tree(0), 5)
+    rows = []
+    for k in TARGET_COUNTS:
+        targets = random_sources(g.n, k, seed=k)
+        engine = RPhastEngine(ch, targets)
+        t_sel = time_ms(lambda: RPhastEngine(ch, targets), 3)
+        t_query = time_ms(lambda: engine.distances(0), 5)
+        rows.append(
+            [
+                k,
+                engine.size,
+                f"{engine.size / g.n:.0%}",
+                fmt(t_sel, 2),
+                fmt(t_query, 3),
+                fmt(t_full, 3),
+            ]
+        )
+    if not quiet:
+        print_table(
+            f"RPHAST one-to-many (n={g.n}; full PHAST sweep as reference)",
+            [
+                "targets", "selected", "of n",
+                "selection ms", "query ms", "full sweep ms",
+            ],
+            rows,
+        )
+
+    # Square-matrix comparison against the classic CH bucket algorithm.
+    mrows = []
+    for size in MATRIX_SIZES:
+        S = random_sources(g.n, size, seed=size)
+        T = random_sources(g.n, size, seed=size + 1)
+        t_buckets = time_ms(lambda: many_to_many_buckets(ch, S, T), 3)
+        engine = RPhastEngine(ch, T)
+        t_rphast = time_ms(lambda: engine.many_to_many(S), 3)
+        mrows.append(
+            [f"{size}x{size}", fmt(t_buckets, 2), fmt(t_rphast, 2)]
+        )
+    if not quiet:
+        print_table(
+            "many-to-many matrix: CH buckets vs RPHAST (total ms, "
+            "selection excluded)",
+            ["matrix", "buckets", "RPHAST"],
+            mrows,
+        )
+    return rows
+
+
+# -- pytest shape checks -----------------------------------------------------
+
+
+def test_restricted_query_beats_full_sweep(europe):
+    targets = random_sources(europe.graph.n, 8, seed=1)
+    engine = RPhastEngine(europe.ch, targets)
+    eng_full = europe.engine()
+    # The structural saving is deterministic; the wall-clock check gets
+    # a noise margin (sub-ms timings under parallel test load).
+    assert engine.num_arcs < eng_full.sweep.num_arcs / 3
+    t_r = time_ms(lambda: engine.distances(0), 9)
+    t_f = time_ms(lambda: eng_full.tree(0), 9)
+    assert t_r < t_f * 1.3
+
+
+def test_selection_sublinear(europe):
+    sizes = []
+    for k in (4, 64, 1024):
+        targets = random_sources(europe.graph.n, k, seed=k)
+        sizes.append(RPhastEngine(europe.ch, targets).size)
+    assert sizes[0] < sizes[1] < sizes[2] <= europe.graph.n
+    # 256x more targets must cost far less than 256x the selection.
+    assert sizes[2] < sizes[0] * 64
+
+
+def test_one_to_many_beats_repeated_dijkstra(europe):
+    g = europe.graph
+    targets = random_sources(g.n, 16, seed=3)
+    engine = RPhastEngine(europe.ch, targets)
+    sources = random_sources(g.n, 8, seed=4)
+    t_r = time_ms(lambda: engine.many_to_many(sources), 3)
+    t_d = time_ms(
+        lambda: [dijkstra(g, s, with_parents=False) for s in sources], 1
+    )
+    assert t_r < t_d
+
+
+def test_bench_rphast_query(benchmark, europe):
+    targets = random_sources(europe.graph.n, 64, seed=0)
+    engine = RPhastEngine(europe.ch, targets)
+    benchmark(lambda: engine.distances(0))
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,117 @@
+"""Table III — GPHAST: per-tree time and GPU memory vs trees/sweep.
+
+Paper (GTX 580, Europe/time): k=1 → 5.53 ms; k=16 → 2.21 ms; memory
+grows linearly in k and fills the card's 1.5 GB near k=16.
+
+The distances are computed exactly (the sweep runs on the CPU); the
+time column is the GPU model's charge for the same level-synchronous
+schedule, reported at both benchmark scale and paper scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import fmt, load_instance, print_table, random_sources
+from repro.core import GphastEngine
+from repro.simulator import GTX_580, GpuCostModel
+
+KS = (1, 2, 4, 8, 16)
+
+#: Table III anchors preserved in the text.
+PAPER = {1: 5.53, 16: 2.21}
+
+
+def paper_scale_level_profile() -> tuple[np.ndarray, np.ndarray]:
+    """Europe's level profile: half the vertices at level 0, a long
+    geometric tail over 140 levels (Figure 1)."""
+    levels = 140
+    weights = np.geomspace(1.0, 1e-4, levels - 1)
+    verts = np.empty(levels)
+    verts[0] = 9_000_000
+    verts[1:] = 9_000_000 * weights / weights.sum()
+    arcs = verts / verts.sum() * 33_800_000
+    return verts, arcs
+
+
+def run(quiet: bool = False):
+    inst = load_instance()
+    engine = GphastEngine(inst.ch)
+    rows = []
+    for k in KS:
+        res = engine.trees(random_sources(inst.graph.n, k, seed=k))
+        r = res.report
+        rows.append(
+            [k, fmt(r.memory_mb, 1), fmt(r.per_tree_ms, 4), r.kernels]
+        )
+    if not quiet:
+        print_table(
+            f"Table III at benchmark scale (modeled GTX 580, n={inst.graph.n})",
+            ["trees/sweep", "memory MB", "ms/tree", "kernels"],
+            rows,
+        )
+
+    model = GpuCostModel(GTX_580)
+    lv, la = paper_scale_level_profile()
+    prows = []
+    for k in KS:
+        rep = model.sweep_cost(lv, la, k, n=18_000_000, m=33_800_000)
+        prows.append(
+            [
+                k,
+                fmt(rep.memory_mb, 0),
+                fmt(rep.per_tree_ms, 2),
+                fmt(PAPER.get(k, float("nan")), 2),
+                "yes" if rep.fits_in_memory else "NO",
+            ]
+        )
+    if not quiet:
+        print_table(
+            "Table III modeled at paper scale (GTX 580, Europe/time)",
+            ["trees/sweep", "memory MB", "ms/tree", "paper ms", "fits 1.5GB"],
+            prows,
+        )
+    return rows, prows
+
+
+# -- pytest shape checks -----------------------------------------------------
+
+
+def test_per_tree_time_decreases_with_k(europe):
+    engine = GphastEngine(europe.ch)
+    times = [
+        engine.model.sweep_cost(engine._level_verts, engine._level_arcs, k).per_tree_ms
+        for k in KS
+    ]
+    assert all(a >= b for a, b in zip(times, times[1:]))
+
+
+def test_memory_linear_in_k(europe):
+    engine = GphastEngine(europe.ch)
+    sw = engine.sweep
+    m1 = engine.model.device_memory_mb(sw.n, sw.num_arcs, 1)
+    m16 = engine.model.device_memory_mb(sw.n, sw.num_arcs, 16)
+    # Label arrays dominate at k=16: memory must grow superlinearly in
+    # label count but linearly overall.
+    assert 2 < m16 / m1 < 16
+
+
+def test_paper_scale_anchors():
+    model = GpuCostModel(GTX_580)
+    lv, la = paper_scale_level_profile()
+    k1 = model.sweep_cost(lv, la, 1, n=18_000_000, m=33_800_000)
+    k16 = model.sweep_cost(lv, la, 16, n=18_000_000, m=33_800_000)
+    assert abs(k1.per_tree_ms - PAPER[1]) / PAPER[1] < 0.35
+    assert abs(k16.per_tree_ms - PAPER[16]) / PAPER[16] < 0.35
+    assert k16.fits_in_memory
+    assert k16.memory_mb > 1200  # nearly fills the card
+
+
+def test_bench_gphast_sweep_16(benchmark, europe):
+    engine = GphastEngine(europe.ch)
+    sources = random_sources(europe.graph.n, 16, seed=0)
+    benchmark(lambda: engine.trees(sources))
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,66 @@
+"""Table IV — machine specifications.
+
+A static table in the paper; here it doubles as the machine catalog the
+cost model consumes, printed for cross-checking.
+"""
+
+from __future__ import annotations
+
+from common import print_table
+from repro.simulator import MACHINES
+
+
+def run(quiet: bool = False):
+    rows = []
+    for name in ("M2-1", "M2-4", "M4-12", "M1-4", "M2-6"):
+        m = MACHINES[name]
+        rows.append(
+            [
+                m.name,
+                m.brand,
+                m.cpu,
+                f"{m.clock_ghz:.2f}",
+                m.sockets,
+                m.cores,
+                m.mem_type,
+                m.mem_gb,
+                m.mem_clock_mhz,
+                f"{m.bandwidth_gbs:.1f}",
+                m.numa_nodes,
+                f"{m.watts_full_load:.0f}" if m.watts_full_load else "-",
+            ]
+        )
+    if not quiet:
+        print_table(
+            "Table IV: machines",
+            [
+                "name", "brand", "CPU", "GHz", "P", "c",
+                "mem", "GB", "MHz", "GB/s", "B", "watts",
+            ],
+            rows,
+        )
+    return rows
+
+
+def test_catalog_matches_paper_claims():
+    """Spot checks against figures quoted in the paper's prose."""
+    assert MACHINES["M1-4"].cpu == "Core-i7 920"
+    assert MACHINES["M1-4"].clock_ghz == 2.67
+    assert MACHINES["M1-4"].mem_gb == 12
+    assert MACHINES["M2-6"].bandwidth_gbs == 32.0  # "high-end Intel Xeon"
+    assert MACHINES["M4-12"].cores == 48
+    assert MACHINES["M4-12"].numa_nodes == 8
+    assert MACHINES["M4-12"].watts_full_load == 747.0
+    assert MACHINES["M1-4"].watts_full_load == 163.0
+    assert MACHINES["M2-6"].watts_full_load == 332.0
+
+
+def test_naming_convention():
+    for name, m in MACHINES.items():
+        p, c_per = name.removeprefix("M").split("-")
+        assert m.sockets == int(p)
+        assert m.cores == int(p) * int(c_per)
+
+
+if __name__ == "__main__":
+    run()

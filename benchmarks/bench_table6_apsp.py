@@ -1,0 +1,137 @@
+"""Table VI — Dijkstra vs PHAST vs GPHAST: time and energy, per tree
+and for all-pairs shortest paths.
+
+Paper rows (Europe, n = 18M): Dijkstra and PHAST on M1-4 / M2-6 /
+M4-12, GPHAST on GTX 480 / GTX 580; columns: per-tree ms and J, n-tree
+d:hh:mm and MJ.  Prose anchors: GPHAST ≈ 11 h for APSP vs ~200 days for
+4-core Dijkstra; M4-12 2.8–3.6x worse J/tree than the GPU box; the
+GTX 580 ~20% faster than the GTX 480; GPHAST amortizes CH preprocessing
+(302 s) after 319 trees.
+"""
+
+from __future__ import annotations
+
+from bench_table3_gphast import paper_scale_level_profile
+from common import (
+    EUROPE_COUNTS,
+    EUROPE_DIJKSTRA_COUNTS,
+    fmt,
+    print_table,
+)
+from repro.simulator import (
+    GTX_480,
+    GTX_580,
+    CostModel,
+    GpuCostModel,
+    apsp_report,
+    machine,
+)
+
+N_EUROPE = 18_000_000
+
+
+def configurations():
+    """(label, per-tree ms, watts) for every Table VI row."""
+    rows = []
+    for name in ("M1-4", "M2-6", "M4-12"):
+        spec = machine(name)
+        cm = CostModel(spec)
+        dij = cm.dijkstra_per_tree_parallel(
+            EUROPE_DIJKSTRA_COUNTS, spec.cores, pinned=True
+        )
+        rows.append((f"Dijkstra {name}", dij, spec.watts_full_load))
+    for name in ("M1-4", "M2-6", "M4-12"):
+        spec = machine(name)
+        cm = CostModel(spec)
+        sse = name in ("M1-4", "M2-6")
+        ph = cm.phast_per_tree_parallel(
+            EUROPE_COUNTS, spec.cores, pinned=True, trees_per_sweep=16, sse=sse
+        )
+        rows.append((f"PHAST {name}", ph, spec.watts_full_load))
+    lv, la = paper_scale_level_profile()
+    for gpu in (GTX_480, GTX_580):
+        rep = GpuCostModel(gpu).sweep_cost(lv, la, 16, n=N_EUROPE, m=33_800_000)
+        rows.append((f"GPHAST {gpu.name}", rep.per_tree_ms, gpu.watts_full_system))
+    return rows
+
+
+def run(quiet: bool = False):
+    rows = []
+    reports = {}
+    for label, ms, watts in configurations():
+        rep = apsp_report(label, ms, watts, N_EUROPE)
+        reports[label] = rep
+        rows.append(
+            [
+                label,
+                fmt(rep.per_tree_ms, 2),
+                fmt(rep.per_tree_joules, 2),
+                rep.total_dhm,
+                fmt(rep.total_megajoules, 1),
+            ]
+        )
+    if not quiet:
+        print_table(
+            "Table VI modeled (Europe scale, best configuration per device)",
+            ["algorithm/device", "ms/tree", "J/tree", "n trees d:hh:mm", "MJ"],
+            rows,
+        )
+        print(
+            "paper anchors: GPHAST(580) APSP ~0:11:00 d:hh:mm; Dijkstra "
+            "4-core ~200 days; M4-12 J/tree 2.8-3.6x the GPU box"
+        )
+    return reports
+
+
+# -- pytest shape checks -----------------------------------------------------
+
+
+def test_gphast_apsp_about_half_a_day():
+    reports = run(quiet=True)
+    hours = reports["GPHAST GTX 580"].total_seconds / 3600
+    assert 6 < hours < 18  # paper: ~11 hours
+
+
+def test_dijkstra_apsp_months():
+    reports = run(quiet=True)
+    days = reports["Dijkstra M1-4"].total_seconds / 86400
+    assert days > 100  # paper: ~200 days on 4 cores
+
+
+def test_gtx580_faster_than_gtx480():
+    reports = run(quiet=True)
+    r580 = reports["GPHAST GTX 580"].per_tree_ms
+    r480 = reports["GPHAST GTX 480"].per_tree_ms
+    assert r580 < r480
+    assert (r480 - r580) / r580 < 0.45  # paper: ~20%
+
+
+def test_m4_12_energy_worse_than_gpu():
+    reports = run(quiet=True)
+    ratio = (
+        reports["PHAST M4-12"].per_tree_joules
+        / reports["GPHAST GTX 580"].per_tree_joules
+    )
+    assert 1.5 < ratio < 6.0  # paper: 2.8-3.6
+
+
+def test_gphast_beats_all_cpus():
+    reports = run(quiet=True)
+    gpu = reports["GPHAST GTX 580"].per_tree_ms
+    for label, rep in reports.items():
+        if label.startswith(("PHAST", "Dijkstra")):
+            assert gpu < rep.per_tree_ms, label
+
+
+def test_ch_amortization():
+    """CH preprocessing pays for itself within a few hundred trees."""
+    reports = run(quiet=True)
+    ch_seconds = 302.0  # paper: CH preprocessing on 4 cores
+    dij = reports["Dijkstra M1-4"].per_tree_ms
+    gph = reports["GPHAST GTX 580"].per_tree_ms
+    breakeven = ch_seconds * 1e3 / (dij - gph)
+    assert 100 < breakeven < 1500  # paper: 319 trees
+
+
+if __name__ == "__main__":
+    run()

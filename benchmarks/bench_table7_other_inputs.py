@@ -1,0 +1,132 @@
+"""Table VII — other inputs: Europe/USA × travel times/distances.
+
+Paper: every algorithm slows on USA (bigger) and on travel distances
+(weaker hierarchy: Europe/time 140 levels vs Europe/distance 410; USA
+101 vs 285; more shortcuts).  Reproduced with measured wall-clock on
+four synthetic instances plus the cost model at paper scale.
+"""
+
+from __future__ import annotations
+
+from common import (
+    EUROPE_COUNTS,
+    EUROPE_DIJKSTRA_COUNTS,
+    EUROPE_DIST_COUNTS,
+    USA_COUNTS,
+    USA_DIJKSTRA_COUNTS,
+    USA_DIST_COUNTS,
+    fmt,
+    load_instance,
+    print_table,
+    time_ms,
+)
+from repro.simulator import CostModel, machine
+from repro.sssp import dijkstra
+
+INPUTS = [
+    ("europe", "time"),
+    ("europe", "distance"),
+    ("usa", "time"),
+    ("usa", "distance"),
+]
+
+#: Paper-scale counts per (kind, metric).
+COUNTS = {
+    ("europe", "time"): (EUROPE_COUNTS, EUROPE_DIJKSTRA_COUNTS),
+    ("europe", "distance"): (EUROPE_DIST_COUNTS, EUROPE_DIJKSTRA_COUNTS),
+    ("usa", "time"): (USA_COUNTS, USA_DIJKSTRA_COUNTS),
+    ("usa", "distance"): (USA_DIST_COUNTS, USA_DIJKSTRA_COUNTS),
+}
+
+
+def run(quiet: bool = False, scale: int | None = None):
+    scale = scale or 48  # four instances: keep CH builds modest
+    rows = []
+    stats_rows = []
+    for kind, metric in INPUTS:
+        inst = load_instance(kind, metric, scale=scale)
+        g = inst.graph
+        eng = inst.engine()
+        dij = time_ms(lambda: dijkstra(g, 0, with_parents=False), 3)
+        ph = time_ms(lambda: eng.tree(0), 5)
+        rows.append(
+            [f"{kind}/{metric}", g.n, fmt(dij, 1), fmt(ph, 2), fmt(dij / ph, 1)]
+        )
+        stats_rows.append(
+            [
+                f"{kind}/{metric}",
+                inst.ch.num_levels,
+                inst.ch.num_shortcuts,
+                fmt(inst.build_seconds, 1),
+            ]
+        )
+    if not quiet:
+        print_table(
+            f"Table VII measured (scale={scale})",
+            ["input", "n", "Dijkstra ms", "PHAST ms", "speedup"],
+            rows,
+        )
+        print_table(
+            "Table VII hierarchy statistics (paper: EU 140/410 levels, "
+            "USA 101/285 for time/distance)",
+            ["input", "levels", "shortcuts", "CH build s"],
+            stats_rows,
+        )
+
+    cm = CostModel(machine("M1-4"))
+    mrows = []
+    for kind, metric in INPUTS:
+        phast_c, dij_c = COUNTS[(kind, metric)]
+        mrows.append(
+            [
+                f"{kind}/{metric}",
+                fmt(cm.dijkstra_single(dij_c), 0),
+                fmt(cm.phast_single(phast_c), 0),
+            ]
+        )
+    if not quiet:
+        print_table(
+            "Table VII modeled at paper scale (M1-4, ms/tree)",
+            ["input", "Dijkstra", "PHAST"],
+            mrows,
+        )
+    return rows, stats_rows
+
+
+# -- pytest shape checks -----------------------------------------------------
+
+
+def test_distance_metric_weakens_hierarchy():
+    eu_t = load_instance("europe", "time", scale=32)
+    eu_d = load_instance("europe", "distance", scale=32)
+    assert eu_d.ch.num_levels >= eu_t.ch.num_levels
+    assert eu_d.ch.num_shortcuts >= eu_t.ch.num_shortcuts
+
+
+def test_usa_is_bigger_and_slower():
+    eu = load_instance("europe", "time", scale=32)
+    us = load_instance("usa", "time", scale=32)
+    assert us.graph.n > eu.graph.n
+    t_eu = time_ms(lambda: eu.engine().tree(0), 5)
+    t_us = time_ms(lambda: us.engine().tree(0), 5)
+    assert t_us > t_eu * 0.6  # bigger input is not faster (noise margin)
+
+
+def test_phast_wins_on_every_input():
+    for kind, metric in INPUTS:
+        inst = load_instance(kind, metric, scale=32)
+        dij = time_ms(lambda: dijkstra(inst.graph, 0, with_parents=False), 3)
+        ph = time_ms(lambda: inst.engine().tree(0), 5)
+        assert ph < dij, (kind, metric)
+
+
+def test_modeled_usa_slower_than_europe():
+    cm = CostModel(machine("M1-4"))
+    assert cm.phast_single(USA_COUNTS) > cm.phast_single(EUROPE_COUNTS)
+    assert cm.dijkstra_single(USA_DIJKSTRA_COUNTS) > cm.dijkstra_single(
+        EUROPE_DIJKSTRA_COUNTS
+    )
+
+
+if __name__ == "__main__":
+    run()

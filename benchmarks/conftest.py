@@ -1,0 +1,21 @@
+"""Session fixtures for the benchmark harness."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import load_instance  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def europe():
+    """The default benchmark instance (Europe-like, travel times)."""
+    return load_instance("europe", "time")
+
+
+@pytest.fixture(scope="session")
+def europe_engine(europe):
+    return europe.engine()

@@ -1,0 +1,63 @@
+"""Master report: regenerate every table and figure of the paper.
+
+Usage::
+
+    python benchmarks/report.py            # all experiments
+    python benchmarks/report.py table1 fig1  # a subset
+
+The first run builds and caches the benchmark instances (a few minutes
+of CH preprocessing); later runs are fast.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import bench_ablations
+import bench_applications
+import bench_ch_query
+import bench_fig1_levels
+import bench_highway_dimension
+import bench_lower_bound
+import bench_rphast
+import bench_table1_single_tree
+import bench_table2_multi_tree
+import bench_table3_gphast
+import bench_table4_machines
+import bench_table5_architectures
+import bench_table6_apsp
+import bench_table7_other_inputs
+
+EXPERIMENTS = {
+    "fig1": bench_fig1_levels.run,
+    "table1": bench_table1_single_tree.run,
+    "table2": bench_table2_multi_tree.run,
+    "table3": bench_table3_gphast.run,
+    "table4": bench_table4_machines.run,
+    "table5": bench_table5_architectures.run,
+    "table6": bench_table6_apsp.run,
+    "table7": bench_table7_other_inputs.run,
+    "lower_bound": bench_lower_bound.run,
+    "ch_query": bench_ch_query.run,
+    "applications": bench_applications.run,
+    "ablations": bench_ablations.run,
+    "rphast": bench_rphast.run,
+    "highway_dimension": bench_highway_dimension.run,
+}
+
+
+def main(argv: list[str]) -> None:
+    names = argv or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        raise SystemExit(f"unknown experiments {unknown}; known: {list(EXPERIMENTS)}")
+    for name in names:
+        start = time.perf_counter()
+        print(f"\n{'#' * 70}\n# {name}\n{'#' * 70}")
+        EXPERIMENTS[name]()
+        print(f"[{name} done in {time.perf_counter() - start:.1f}s]")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

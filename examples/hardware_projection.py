@@ -1,0 +1,92 @@
+"""Project PHAST performance onto real hardware with the model layer.
+
+Run::
+
+    python examples/hardware_projection.py
+
+Given a target deployment (here: the paper's machines plus a custom
+box), the simulator layer predicts per-tree times and all-pairs costs
+at continental scale — the planning exercise Section VIII's tables
+support, available as an API: describe the machine, get the landscape.
+"""
+
+from __future__ import annotations
+
+from repro.simulator import (
+    GTX_580,
+    CostModel,
+    GpuCostModel,
+    MachineSpec,
+    NumaTopology,
+    WorkloadCounts,
+    apsp_report,
+    machine,
+)
+
+EUROPE = WorkloadCounts(n=18_000_000, arcs=33_800_000, levels=140)
+EUROPE_DIJ = WorkloadCounts(n=18_000_000, arcs=42_000_000)
+
+
+def main() -> None:
+    # A machine that is not in the paper: a hypothetical 2-socket,
+    # 32-core DDR4 server.
+    custom = MachineSpec(
+        name="custom-2x16",
+        brand="ACME",
+        cpu="Hypothetical 16-core",
+        clock_ghz=3.0,
+        sockets=2,
+        cores=32,
+        mem_type="DDR4",
+        mem_gb=256,
+        mem_clock_mhz=2666,
+        bandwidth_gbs=68.0,
+        numa_nodes=2,
+        watts_full_load=450.0,
+    )
+
+    print(f"{'machine':>12} {'Dijkstra':>10} {'PHAST 1c':>9} "
+          f"{'PHAST all cores k=16':>21} {'APSP':>12}")
+    for spec in [machine("M1-4"), machine("M4-12"), machine("M2-6"), custom]:
+        cm = CostModel(spec)
+        dij = cm.dijkstra_single(EUROPE_DIJ)
+        single = cm.phast_single(EUROPE)
+        best = cm.phast_per_tree_parallel(
+            EUROPE, spec.cores, trees_per_sweep=16, pinned=True
+        )
+        apsp = apsp_report(spec.name, best, spec.watts_full_load, EUROPE.n)
+        print(
+            f"{spec.name:>12} {dij:>8.0f}ms {single:>7.0f}ms "
+            f"{best:>19.2f}ms {apsp.total_dhm:>12}"
+        )
+
+    # NUMA what-if: how much does pinning buy on the custom box?
+    topo = NumaTopology.from_machine(custom)
+    cm = CostModel(custom)
+    bytes_tree = cm._phast_bytes_per_tree(EUROPE, 1)
+    cpu = cm._cpu_ms(cm._phast_cycles_per_tree(EUROPE, 1, sse=False))
+    pin = topo.per_tree_ms(bytes_tree, cpu, custom.cores, pinned=True)
+    free = topo.per_tree_ms(bytes_tree, cpu, custom.cores, pinned=False)
+    print(
+        f"\n{custom.name}: pinned {pin:.1f} ms/tree vs unpinned "
+        f"{free:.1f} ms/tree -> pinning buys {free / pin:.1f}x "
+        "(replicate the graph per NUMA node!)"
+    )
+
+    # And the GPU option.
+    import numpy as np
+
+    levels = 140
+    lv = np.full(levels, 9e6 / (levels - 1))
+    lv[0] = 9e6
+    la = np.full(levels, 33.8e6 / levels)
+    gpu = GpuCostModel(GTX_580).sweep_cost(lv, la, 16, n=EUROPE.n, m=33_800_000)
+    rep = apsp_report("GTX 580", gpu.per_tree_ms, 375.0, EUROPE.n)
+    print(
+        f"GTX 580: {gpu.per_tree_ms:.2f} ms/tree, APSP in {rep.total_dhm} "
+        f"(d:hh:mm) at {rep.total_megajoules:.0f} MJ"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""PHAST: Hardware-Accelerated Shortest Path Trees — reproduction.
+
+Reproduces Delling, Goldberg, Nowatzyk & Werneck (IPDPS 2011): the
+PHAST algorithm for single-source shortest path trees on road networks,
+its multi-tree / multi-core / GPU variants, the contraction-hierarchy
+substrate it builds on, the baselines it is measured against, and the
+applications it enables.
+
+Quickstart::
+
+    from repro import contract_graph, PhastEngine, europe_like
+
+    road = europe_like(scale=64)
+    ch = contract_graph(road)
+    engine = PhastEngine(ch)
+    tree = engine.tree(source=0)   # distances to all vertices
+
+Subpackages
+-----------
+``repro.graph``
+    CSR graph substrate, layouts, generators, DIMACS I/O.
+``repro.pq``
+    Priority queues (binary/4-ary heap, Dial, multi-level buckets).
+``repro.sssp``
+    Dijkstra and BFS baselines.
+``repro.ch``
+    Contraction hierarchies preprocessing and point-to-point queries.
+``repro.core``
+    PHAST itself: sweep structure, engines, parallel drivers, GPHAST.
+``repro.simulator``
+    Hardware models: caches, machine catalog, GPU, cost/energy models.
+``repro.apps``
+    Diameter, arc flags, reach, betweenness.
+"""
+
+from .apps import (
+    arcflags_query,
+    betweenness,
+    compute_arc_flags,
+    diameter,
+    exact_reaches,
+    partition_graph,
+)
+from .ch import CHParams, ContractionHierarchy, ch_query, contract_graph
+from .core import (
+    GphastEngine,
+    PhastEngine,
+    RPhastEngine,
+    parents_in_original_graph,
+    phast_scalar,
+    tree_level_parallel,
+    trees_per_core,
+)
+from .graph import (
+    INF,
+    GraphBuilder,
+    StaticGraph,
+    dfs_order,
+    europe_like,
+    random_graph,
+    read_gr,
+    road_network,
+    usa_like,
+    write_gr,
+)
+from .sssp import ShortestPathTree, bfs, dijkstra
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "INF",
+    "StaticGraph",
+    "GraphBuilder",
+    "road_network",
+    "europe_like",
+    "usa_like",
+    "random_graph",
+    "dfs_order",
+    "read_gr",
+    "write_gr",
+    "dijkstra",
+    "bfs",
+    "ShortestPathTree",
+    "CHParams",
+    "ContractionHierarchy",
+    "contract_graph",
+    "ch_query",
+    "PhastEngine",
+    "phast_scalar",
+    "RPhastEngine",
+    "GphastEngine",
+    "trees_per_core",
+    "tree_level_parallel",
+    "parents_in_original_graph",
+    "diameter",
+    "partition_graph",
+    "compute_arc_flags",
+    "arcflags_query",
+    "exact_reaches",
+    "betweenness",
+    "__version__",
+]

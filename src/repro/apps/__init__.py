@@ -1,0 +1,45 @@
+"""Applications of PHAST (Section VII): diameter, arc flags, reach,
+betweenness."""
+
+from .arcflags import (
+    ArcFlags,
+    BidirectionalArcFlags,
+    arcflags_query,
+    arcflags_query_bidirectional,
+    compute_arc_flags,
+    compute_bidirectional_arc_flags,
+)
+from .betweenness import betweenness, betweenness_approx, brandes_single_source
+from .diameter import DiameterResult, diameter, eccentricities
+from .isochrone import NearestPoiIndex, Poi, isochrone
+from .partition import (
+    Partition,
+    boundary_vertices,
+    partition_graph,
+    partition_quality,
+)
+from .reach import exact_reaches, reach_from_tree
+
+__all__ = [
+    "ArcFlags",
+    "compute_arc_flags",
+    "arcflags_query",
+    "BidirectionalArcFlags",
+    "arcflags_query_bidirectional",
+    "compute_bidirectional_arc_flags",
+    "betweenness",
+    "betweenness_approx",
+    "brandes_single_source",
+    "DiameterResult",
+    "diameter",
+    "eccentricities",
+    "Partition",
+    "partition_graph",
+    "boundary_vertices",
+    "partition_quality",
+    "exact_reaches",
+    "reach_from_tree",
+    "isochrone",
+    "Poi",
+    "NearestPoiIndex",
+]

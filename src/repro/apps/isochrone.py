@@ -1,0 +1,121 @@
+"""Isochrones and nearest-POI queries.
+
+Two everyday consumers of one-to-all / one-to-many distances that the
+paper's introduction motivates (web map services):
+
+* an *isochrone* is the set of vertices reachable within a time budget
+  — with PHAST it is one sweep plus a vectorized threshold, with
+  Dijkstra a bounded search (cheaper for very small budgets, far more
+  expensive for large ones: the classic crossover);
+* *k-nearest POIs* ask for the closest members of a facility set —
+  a one-to-many query answered with RPHAST's restricted sweep over the
+  *reverse* graph (distances vehicle → facility need trees toward the
+  facilities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ch.hierarchy import ContractionHierarchy
+from ..core.phast import PhastEngine
+from ..core.rphast import RPhastEngine
+from ..graph.csr import INF, StaticGraph
+from ..sssp.dijkstra import dijkstra
+
+__all__ = ["isochrone", "Poi", "NearestPoiIndex"]
+
+
+def isochrone(
+    graph: StaticGraph,
+    source: int,
+    budget: int,
+    *,
+    engine: PhastEngine | None = None,
+    method: str = "phast",
+) -> np.ndarray:
+    """Vertices within ``budget`` of ``source``.
+
+    Parameters
+    ----------
+    engine:
+        Reusable PHAST engine (``method="phast"``); built on demand by
+        callers that query repeatedly.
+    method:
+        ``"phast"`` (full sweep + threshold) or ``"dijkstra"``
+        (bounded search, no preprocessing needed).
+
+    Returns
+    -------
+    Sorted vertex IDs with ``dist <= budget``.
+    """
+    if budget < 0:
+        raise ValueError("budget must be non-negative")
+    if method == "phast":
+        if engine is None:
+            raise ValueError("method='phast' requires an engine")
+        dist = engine.tree(source).dist
+        return np.flatnonzero(dist <= budget).astype(np.int64)
+    if method == "dijkstra":
+        tree = dijkstra(graph, source, with_parents=False, dist_bound=budget)
+        return np.flatnonzero(tree.dist <= budget).astype(np.int64)
+    raise ValueError(f"unknown method {method!r}")
+
+
+@dataclass(frozen=True)
+class Poi:
+    """A point of interest pinned to a graph vertex."""
+
+    vertex: int
+    name: str = ""
+
+
+class NearestPoiIndex:
+    """k-nearest-POI queries over a fixed facility set.
+
+    Builds one RPHAST selection restricted to the facilities, so a
+    query from ``v`` yields the distances ``v -> poi`` for every
+    facility in a single restricted sweep.  (For the opposite
+    direction — facility to customer — build the index on the reverse
+    graph's hierarchy.)
+
+    Parameters
+    ----------
+    ch:
+        The graph's hierarchy.
+    pois:
+        The facility set.
+    """
+
+    def __init__(self, ch: ContractionHierarchy, pois: list[Poi]) -> None:
+        if not pois:
+            raise ValueError("POI set must be non-empty")
+        self.pois = list(pois)
+        vertices = np.array([p.vertex for p in pois], dtype=np.int64)
+        self._engine = RPhastEngine(ch, vertices)
+        # targets are deduplicated+sorted inside the engine; map back.
+        self._poi_column = np.searchsorted(self._engine.targets, vertices)
+
+    def query(self, source: int, k: int = 1) -> list[tuple[Poi, int]]:
+        """The ``k`` closest POIs from ``source`` with their distances.
+
+        Unreachable POIs are omitted; fewer than ``k`` results mean the
+        rest are unreachable.
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        dist_to = self._engine.distances(source)[self._poi_column]
+        order = np.argsort(dist_to, kind="stable")
+        out = []
+        for idx in order[:k]:
+            d = int(dist_to[idx])
+            if d >= INF:
+                break
+            out.append((self.pois[int(idx)], d))
+        return out
+
+    def distances(self, source: int) -> np.ndarray:
+        """Distance from ``source`` to every POI (aligned with ``pois``)."""
+        return self._engine.distances(source)[self._poi_column]

@@ -1,0 +1,23 @@
+"""Contraction hierarchies: preprocessing, queries, unpacking."""
+
+from .contraction import CHParams, contract_graph
+from .hierarchy import ContractionHierarchy, build_csr_with_payload
+from .query import (
+    CHQueryResult,
+    UpwardSearchSpace,
+    ch_query,
+    unpack_arc,
+    upward_search,
+)
+
+__all__ = [
+    "CHParams",
+    "contract_graph",
+    "ContractionHierarchy",
+    "build_csr_with_payload",
+    "CHQueryResult",
+    "UpwardSearchSpace",
+    "ch_query",
+    "unpack_arc",
+    "upward_search",
+]

@@ -1,0 +1,139 @@
+"""The output of CH preprocessing.
+
+A :class:`ContractionHierarchy` holds, for the input graph ``G``:
+
+* ``rank`` — the contraction order (``rank[v] = i`` means ``v`` was the
+  ``i``-th vertex shortcut; higher rank = more important),
+* ``level`` — the PHAST level ``L(v)`` (Section IV-A),
+* the augmented arc set ``A ∪ A+`` split into the *upward* graph
+  ``G↑`` (out-adjacency, tail rank < head rank) and the *downward*
+  graph ``G↓`` stored reversed (in-adjacency: for each vertex, the
+  incoming arcs from higher-ranked tails — exactly what PHAST's sweep
+  scans),
+* per-arc ``via`` vertices for shortcut unpacking (-1 = original arc).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import StaticGraph
+
+__all__ = ["ContractionHierarchy", "build_csr_with_payload"]
+
+
+def build_csr_with_payload(
+    n: int,
+    tails: np.ndarray,
+    heads: np.ndarray,
+    lens: np.ndarray,
+    payload: np.ndarray,
+) -> tuple[StaticGraph, np.ndarray]:
+    """CSR-build arcs with one extra per-arc attribute, deduping parallels.
+
+    Parallel arcs are collapsed to the shortest (ties: lowest payload
+    wins, deterministically); the payload array is carried through the
+    same reordering so element ``i`` still describes arc ``i`` of the
+    returned graph.
+    """
+    tails = np.asarray(tails, dtype=np.int64)
+    heads = np.asarray(heads, dtype=np.int64)
+    lens = np.asarray(lens, dtype=np.int64)
+    payload = np.asarray(payload, dtype=np.int64)
+    if tails.size:
+        order = np.lexsort((payload, lens, heads, tails))
+        tails, heads, lens, payload = (
+            tails[order],
+            heads[order],
+            lens[order],
+            payload[order],
+        )
+        keep = np.empty(tails.size, dtype=bool)
+        keep[0] = True
+        keep[1:] = (tails[1:] != tails[:-1]) | (heads[1:] != heads[:-1])
+        tails, heads, lens, payload = (
+            tails[keep],
+            heads[keep],
+            lens[keep],
+            payload[keep],
+        )
+    # Arcs are now sorted by (tail, head); a stable tail sort preserves
+    # that, so payload order matches the graph's arc order.
+    graph = StaticGraph(n, tails, heads, lens)
+    return graph, payload
+
+
+@dataclass
+class ContractionHierarchy:
+    """Preprocessed hierarchy over a graph with ``n`` vertices.
+
+    Attributes
+    ----------
+    n:
+        Vertex count (IDs shared with the input graph).
+    rank:
+        Contraction order position per vertex (0 = first contracted).
+    level:
+        PHAST level per vertex (0 = leaves of the hierarchy).
+    upward:
+        ``G↑`` as out-adjacency: arcs ``(v, w)`` of ``A ∪ A+`` with
+        ``rank[v] < rank[w]``.
+    upward_via:
+        Per-arc shortcut middle vertex aligned with ``upward``'s arc
+        arrays (-1 for original arcs).
+    downward_rev:
+        ``G↓`` stored *reversed*: ``downward_rev.neighbors(v)`` lists
+        the tails ``u`` of downward arcs ``(u, v)`` (``rank[u] >
+        rank[v]``), with matching lengths — the representation PHAST's
+        linear sweep scans.
+    downward_via:
+        Shortcut middle vertices aligned with ``downward_rev``.
+    num_shortcuts:
+        How many shortcut arcs preprocessing added (before upward /
+        downward dedup).
+    preprocessing_stats:
+        Free-form counters (witness searches run, time, etc.).
+    """
+
+    n: int
+    rank: np.ndarray
+    level: np.ndarray
+    upward: StaticGraph
+    upward_via: np.ndarray
+    downward_rev: StaticGraph
+    downward_via: np.ndarray
+    num_shortcuts: int
+    preprocessing_stats: dict
+
+    @property
+    def num_levels(self) -> int:
+        """Number of distinct levels (max level + 1)."""
+        return int(self.level.max()) + 1 if self.n else 0
+
+    def level_histogram(self) -> np.ndarray:
+        """Vertices per level — the data behind the paper's Figure 1."""
+        return np.bincount(self.level, minlength=self.num_levels)
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``AssertionError``.
+
+        * ``rank`` is a permutation;
+        * every upward arc goes rank-increasing, every (reversed)
+          downward arc rank-decreasing;
+        * levels strictly decrease along downward arcs (Lemma 4.1).
+        """
+        assert np.array_equal(np.sort(self.rank), np.arange(self.n))
+        up_tails = self.upward.arc_tails()
+        assert bool(
+            np.all(self.rank[up_tails] < self.rank[self.upward.arc_head])
+        ), "upward arc with non-increasing rank"
+        down_heads = self.downward_rev.arc_tails()  # reversed storage
+        down_tails = self.downward_rev.arc_head
+        assert bool(
+            np.all(self.rank[down_tails] > self.rank[down_heads])
+        ), "downward arc with non-decreasing rank"
+        assert bool(
+            np.all(self.level[down_tails] > self.level[down_heads])
+        ), "downward arc not strictly level-decreasing"

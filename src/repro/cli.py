@@ -1,0 +1,201 @@
+"""Command-line interface.
+
+The offline/online split of the PHAST pipeline maps naturally onto
+subcommands::
+
+    python -m repro generate --kind europe --scale 64 -o map.npz
+    python -m repro preprocess map.npz -o map.ch.npz
+    python -m repro tree map.npz map.ch.npz --source 0 -o dists.npz
+    python -m repro query map.npz map.ch.npz --source 0 --target 4095
+    python -m repro stats map.npz map.ch.npz
+    python -m repro convert map.gr -o map.npz        # DIMACS import
+
+Graphs and hierarchies travel as ``.npz`` artifacts
+(:mod:`repro.graph.serialize`); DIMACS ``.gr`` files are accepted
+wherever a graph is expected.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _load_graph(path: str):
+    from .graph import load_graph, read_gr
+
+    if str(path).endswith(".gr"):
+        return read_gr(path)
+    return load_graph(path)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .graph import dfs_order, europe_like, save_graph, usa_like
+
+    maker = {"europe": europe_like, "usa": usa_like}[args.kind]
+    graph = maker(scale=args.scale, metric=args.metric, seed=args.seed)
+    if args.layout == "dfs":
+        graph = graph.permute(dfs_order(graph))
+    save_graph(graph, args.output)
+    print(f"{args.output}: {graph.n} vertices, {graph.m} arcs ({args.kind}/{args.metric})")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from .graph import save_graph, write_gr
+
+    graph = _load_graph(args.input)
+    if str(args.output).endswith(".gr"):
+        write_gr(graph, args.output)
+    else:
+        save_graph(graph, args.output)
+    print(f"{args.input} -> {args.output}: {graph.n} vertices, {graph.m} arcs")
+    return 0
+
+
+def _cmd_preprocess(args: argparse.Namespace) -> int:
+    from .ch import contract_graph
+    from .graph import save_hierarchy
+
+    graph = _load_graph(args.graph)
+    start = time.perf_counter()
+    ch = contract_graph(graph)
+    elapsed = time.perf_counter() - start
+    save_hierarchy(ch, args.output)
+    print(
+        f"{args.output}: {ch.num_shortcuts} shortcuts, "
+        f"{ch.num_levels} levels, {elapsed:.1f}s"
+    )
+    return 0
+
+
+def _cmd_tree(args: argparse.Namespace) -> int:
+    from .core import PhastEngine
+    from .graph import load_hierarchy
+    from .graph.csr import INF
+
+    graph = _load_graph(args.graph)
+    ch = load_hierarchy(args.hierarchy)
+    engine = PhastEngine(ch)
+    engine.tree(args.source)  # warm up
+    start = time.perf_counter()
+    tree = engine.tree(args.source)
+    ms = (time.perf_counter() - start) * 1e3
+    reached = tree.dist < INF
+    print(
+        f"source {args.source}: {int(reached.sum())}/{graph.n} reached, "
+        f"max distance {int(tree.dist[reached].max())}, {ms:.2f} ms"
+    )
+    if args.output:
+        np.savez_compressed(args.output, source=args.source, dist=tree.dist)
+        print(f"labels written to {args.output}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .ch import ch_query
+    from .graph import load_hierarchy
+    from .graph.csr import INF
+
+    ch = load_hierarchy(args.hierarchy)
+    start = time.perf_counter()
+    q = ch_query(
+        ch, args.source, args.target, unpack=args.path, stall=args.stall
+    )
+    ms = (time.perf_counter() - start) * 1e3
+    if q.distance >= INF:
+        print(f"{args.source} -> {args.target}: unreachable ({ms:.2f} ms)")
+        return 1
+    print(
+        f"{args.source} -> {args.target}: distance {q.distance}, "
+        f"settled {q.settled_forward + q.settled_backward}, {ms:.2f} ms"
+    )
+    if args.path and q.path:
+        print(" -> ".join(str(v) for v in q.path))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .graph import load_hierarchy
+
+    graph = _load_graph(args.graph)
+    degrees = graph.degrees()
+    print(f"graph: n={graph.n} m={graph.m}")
+    print(
+        f"degrees: min={degrees.min()} mean={degrees.mean():.2f} "
+        f"max={degrees.max()}"
+    )
+    print(f"length range: [{graph.arc_len.min()}, {graph.arc_len.max()}]")
+    if args.hierarchy:
+        ch = load_hierarchy(args.hierarchy)
+        hist = ch.level_histogram()
+        print(
+            f"hierarchy: {ch.num_shortcuts} shortcuts, {ch.num_levels} "
+            f"levels, level 0 holds {hist[0] / ch.n:.0%} of vertices"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PHAST reproduction command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate a synthetic road network")
+    g.add_argument("--kind", choices=("europe", "usa"), default="europe")
+    g.add_argument("--scale", type=int, default=64)
+    g.add_argument("--metric", choices=("time", "distance"), default="time")
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--layout", choices=("dfs", "input"), default="dfs")
+    g.add_argument("-o", "--output", required=True)
+    g.set_defaults(func=_cmd_generate)
+
+    c = sub.add_parser("convert", help="convert between DIMACS .gr and .npz")
+    c.add_argument("input")
+    c.add_argument("-o", "--output", required=True)
+    c.set_defaults(func=_cmd_convert)
+
+    p = sub.add_parser("preprocess", help="build the contraction hierarchy")
+    p.add_argument("graph")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=_cmd_preprocess)
+
+    t = sub.add_parser("tree", help="one PHAST shortest path tree")
+    t.add_argument("graph")
+    t.add_argument("hierarchy")
+    t.add_argument("--source", type=int, required=True)
+    t.add_argument("-o", "--output")
+    t.set_defaults(func=_cmd_tree)
+
+    q = sub.add_parser("query", help="point-to-point CH query")
+    q.add_argument("hierarchy")
+    q.add_argument("--source", type=int, required=True)
+    q.add_argument("--target", type=int, required=True)
+    q.add_argument("--path", action="store_true", help="print the route")
+    q.add_argument("--stall", action="store_true", help="stall-on-demand")
+    q.set_defaults(func=_cmd_query)
+
+    s = sub.add_parser("stats", help="summarize a graph (and hierarchy)")
+    s.add_argument("graph")
+    s.add_argument("hierarchy", nargs="?")
+    s.set_defaults(func=_cmd_stats)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point (``python -m repro`` / the ``repro`` script)."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""PHAST core: sweep structure, query engines, parallel drivers, trees."""
+
+from .gphast import GphastEngine, GphastResult
+from .many_to_many import many_to_many_buckets
+from .parallel import block_boundaries, tree_level_parallel, trees_per_core
+from .phast import PhastEngine, phast_scalar
+from .rphast import RPhastEngine
+from .sweep import SweepStructure
+from .trees import (
+    parents_in_original_graph,
+    subtree_aggregate,
+    tree_depths,
+    validate_tree,
+)
+
+__all__ = [
+    "PhastEngine",
+    "phast_scalar",
+    "RPhastEngine",
+    "many_to_many_buckets",
+    "SweepStructure",
+    "GphastEngine",
+    "GphastResult",
+    "trees_per_core",
+    "tree_level_parallel",
+    "block_boundaries",
+    "parents_in_original_graph",
+    "validate_tree",
+    "subtree_aggregate",
+    "tree_depths",
+]

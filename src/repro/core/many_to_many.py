@@ -1,0 +1,73 @@
+"""Bucket-based many-to-many distances over a contraction hierarchy.
+
+The classic CH matrix algorithm (Knopp et al.) the RPHAST approach is
+usually compared against: every target ``t`` runs a *backward* upward
+search and deposits ``(t, d(v, t))`` into a bucket at each settled
+vertex ``v``; every source then runs a forward upward search and, at
+each settled vertex ``u`` with label ``d(s, u)``, scans ``u``'s bucket
+to improve ``D[s, t] = min(..., d(s, u) + d(u, t))``.
+
+Correctness is the usual CH argument: the maximum-rank vertex of a
+shortest ``s → t`` path is reached exactly by both the forward search
+from ``s`` (in ``G↑``) and the backward search from ``t`` (over the
+reversed downward graph), so its bucket entry witnesses the true
+distance.  Labels of other vertices are upper bounds and can only
+*over*-estimate, never break, the minimum.
+
+Work scales with (sources + targets) × search-space size — independent
+of ``n`` once the hierarchy exists, which is why both this and RPHAST
+beat |S| full PHAST sweeps for small matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ch.hierarchy import ContractionHierarchy
+from ..ch.query import _relax_from
+from ..graph.csr import INF
+
+__all__ = ["many_to_many_buckets"]
+
+
+def many_to_many_buckets(
+    ch: ContractionHierarchy,
+    sources,
+    targets,
+) -> np.ndarray:
+    """Distance matrix ``(len(sources), len(targets))`` via buckets.
+
+    Sources and targets are used as given (duplicates allowed); entries
+    are :data:`~repro.graph.INF` where no path exists.
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    targets = np.asarray(targets, dtype=np.int64)
+    if sources.size and (sources.min() < 0 or sources.max() >= ch.n):
+        raise ValueError("source out of range")
+    if targets.size and (targets.min() < 0 or targets.max() >= ch.n):
+        raise ValueError("target out of range")
+
+    # Backward phase: searches from each target over the reversed
+    # downward graph (the same adjacency the CH query's backward
+    # direction uses) fill the buckets.
+    buckets: dict[int, list[tuple[int, int]]] = {}
+    for j, t in enumerate(targets):
+        settled, dist, _parent = _relax_from(ch.downward_rev, int(t))
+        for v in settled:
+            buckets.setdefault(v, []).append((j, dist[v]))
+
+    # Forward phase: scan buckets along each source's upward search.
+    out = np.full((sources.size, targets.size), INF, dtype=np.int64)
+    for i, s in enumerate(sources):
+        settled, dist, _parent = _relax_from(ch.upward, int(s))
+        row = out[i]
+        for u in settled:
+            bucket = buckets.get(u)
+            if not bucket:
+                continue
+            du = dist[u]
+            for j, dt in bucket:
+                total = du + dt
+                if total < row[j]:
+                    row[j] = total
+    return out

@@ -1,0 +1,195 @@
+"""Parallel PHAST (Section V).
+
+Two orthogonal strategies, both reproduced here:
+
+* **Tree per core** — different sources are independent, so workers
+  process disjoint source sets.  Implemented with forked worker
+  processes (Python threads cannot parallelize the scalar parts).  Each
+  worker owns one :class:`~repro.core.phast.PhastEngine`, inheriting
+  the read-only hierarchy via fork's copy-on-write pages — the same
+  "copy the graph to each NUMA node, pin the thread" discipline the
+  paper applies (Section VIII-E).
+* **Intra-tree level parallelism** — vertices of one level can be
+  processed concurrently because downward arcs never connect vertices
+  of equal level (Lemma 4.1).  Each level's position range is split
+  into blocks handed to a thread pool; NumPy kernels release the GIL,
+  so blocks genuinely overlap for large levels.  This mirrors the
+  paper's 4-core single-tree variant and is the scheduling model GPHAST
+  inherits.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..ch.hierarchy import ContractionHierarchy
+from ..graph.csr import INF
+from .phast import PhastEngine
+
+__all__ = ["trees_per_core", "tree_level_parallel", "block_boundaries"]
+
+# Worker-process state, inherited through fork and initialized lazily.
+_WORKER_CH: ContractionHierarchy | None = None
+_WORKER_ENGINE: PhastEngine | None = None
+_WORKER_K: int = 1
+_WORKER_REDUCE: Callable | None = None
+
+
+def _worker_run(sources: list[int]):
+    global _WORKER_ENGINE
+    if _WORKER_ENGINE is None:
+        _WORKER_ENGINE = PhastEngine(_WORKER_CH)
+    eng = _WORKER_ENGINE
+    results = []
+    k = _WORKER_K
+    for i in range(0, len(sources), k):
+        chunk = sources[i : i + k]
+        if len(chunk) == 1:
+            dists = eng.tree(chunk[0]).dist[None, :]
+        else:
+            dists = eng.trees(chunk)
+        for s, row in zip(chunk, dists):
+            results.append(
+                _WORKER_REDUCE(s, row) if _WORKER_REDUCE else row.copy()
+            )
+    return results
+
+
+def trees_per_core(
+    ch: ContractionHierarchy,
+    sources: Sequence[int],
+    *,
+    num_workers: int | None = None,
+    sources_per_sweep: int = 1,
+    reduce: Callable[[int, np.ndarray], object] | None = None,
+):
+    """Compute many trees with one engine per worker process.
+
+    Parameters
+    ----------
+    ch:
+        The shared hierarchy (copy-on-write inherited by workers).
+    sources:
+        Roots, processed in order; results are returned in the same
+        order.
+    num_workers:
+        Worker processes (default: CPU count, capped at 8).
+    sources_per_sweep:
+        The ``k`` of Section IV-B applied inside each worker.
+    reduce:
+        Optional per-tree reducer ``(source, dist) -> value`` applied in
+        the worker; pass one whenever ``len(sources) × n`` distances
+        would not fit in memory (e.g. diameter keeps one max per tree).
+
+    Returns
+    -------
+    List of per-source results (reduced values, or distance arrays).
+    """
+    sources = [int(s) for s in sources]
+    if not sources:
+        return []
+    if num_workers is None:
+        num_workers = min(8, os.cpu_count() or 1)
+    if num_workers <= 1:
+        global _WORKER_CH, _WORKER_ENGINE, _WORKER_K, _WORKER_REDUCE
+        _WORKER_CH, _WORKER_ENGINE = ch, None
+        _WORKER_K, _WORKER_REDUCE = sources_per_sweep, reduce
+        return _worker_run(sources)
+
+    import multiprocessing as mp
+
+    ctx = mp.get_context("fork")
+    # Round-robin split: tree cost is uniform, so equal-sized chunks
+    # balance well and keep per-worker engines warm.
+    num_workers = min(num_workers, len(sources))
+    chunks = [sources[i::num_workers] for i in range(num_workers)]
+
+    _set_worker_globals(ch, sources_per_sweep, reduce)
+    with ctx.Pool(processes=len(chunks)) as pool:
+        parts = pool.map(_worker_run, chunks)
+    # Stitch the round-robin split back into source order.
+    out: list = [None] * len(sources)
+    for w, chunk in enumerate(chunks):
+        for j, _s in enumerate(chunk):
+            out[w + j * len(chunks)] = parts[w][j]
+    return out
+
+
+def _set_worker_globals(ch, k, reduce) -> None:
+    global _WORKER_CH, _WORKER_ENGINE, _WORKER_K, _WORKER_REDUCE
+    _WORKER_CH = ch
+    _WORKER_ENGINE = None
+    _WORKER_K = k
+    _WORKER_REDUCE = reduce
+
+
+def block_boundaries(lo: int, hi: int, num_blocks: int) -> list[tuple[int, int]]:
+    """Split position range ``[lo, hi)`` into ~equal contiguous blocks."""
+    size = hi - lo
+    if size <= 0:
+        return []
+    num_blocks = max(1, min(num_blocks, size))
+    cuts = np.linspace(lo, hi, num_blocks + 1).astype(np.int64)
+    return [(int(a), int(b)) for a, b in zip(cuts[:-1], cuts[1:]) if b > a]
+
+
+def tree_level_parallel(
+    engine: PhastEngine,
+    source: int,
+    *,
+    num_threads: int = 4,
+    min_block: int = 2048,
+) -> np.ndarray:
+    """One PHAST tree with intra-level block parallelism.
+
+    Levels are processed in descending order with a barrier between
+    them; inside a level, position blocks go to a thread pool.  Small
+    levels (fewer than ``min_block`` vertices) are processed inline —
+    exactly the regime where the paper notes parallelization stops
+    paying off (the topmost levels hold a handful of vertices).
+
+    Returns distances indexed by original vertex ID.
+    """
+    if not engine.reorder:
+        raise ValueError("level-parallel sweep requires a reordered engine")
+    sw = engine.sweep
+    dist = engine._dist
+    marked_pos, marked_val = engine._search_by_position(source)
+    mk = 0
+
+    def run_block(i: int, blo: int, bhi: int) -> None:
+        alo = int(sw.arc_first[blo])
+        ahi = int(sw.arc_first[bhi])
+        cand = dist[engine._tails[alo:ahi]] + sw.arc_len[alo:ahi]
+        boundaries = sw.arc_first[blo : bhi + 1] - alo
+        from ..utils.segments import segment_minimum
+
+        values = segment_minimum(cand, boundaries)
+        np.minimum(values, INF, out=values)
+        dist[blo:bhi] = values
+
+    with ThreadPoolExecutor(max_workers=num_threads) as pool:
+        for i in range(sw.num_levels):
+            lo, hi = sw.level_slice(i)
+            if hi - lo >= min_block and num_threads > 1:
+                blocks = block_boundaries(lo, hi, num_threads)
+                futures = [pool.submit(run_block, i, a, b) for a, b in blocks]
+                for f in futures:
+                    f.result()
+            else:
+                run_block(i, lo, hi)
+            # Fold the CH search space entries of this level.
+            mk_hi = mk
+            while mk_hi < marked_pos.size and marked_pos[mk_hi] < hi:
+                mk_hi += 1
+            if mk_hi > mk:
+                idx = marked_pos[mk:mk_hi]
+                np.minimum.at(dist, idx, marked_val[mk:mk_hi])
+            mk = mk_hi
+    out = np.empty(sw.n, dtype=np.int64)
+    out[sw.vertex_at] = dist
+    return out

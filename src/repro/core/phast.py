@@ -1,0 +1,439 @@
+"""The PHAST algorithm: single-source shortest path trees in two phases.
+
+A query (Section III) is:
+
+1. a forward CH search from the source in ``G↑`` (tiny — hundreds of
+   vertices), and
+2. a *linear sweep* over all vertices in descending level order,
+   relaxing each vertex's incoming downward arcs.
+
+Phase 2's scan order is source-independent, so
+:class:`~repro.core.sweep.SweepStructure` pre-sorts everything by level
+(Section IV-A) and the sweep becomes a handful of contiguous NumPy
+operations per level — the reproduction's stand-in for the paper's
+SSE-vectorized C++ loop.  A scalar reference implementation
+(:func:`phast_scalar`) keeps the fast path honest in tests.
+
+Initialization is *implicit* (Section IV-C): the sweep writes every
+label exactly once per query (empty in-arc segments produce ∞, the CH
+search space is folded in per level), so the distance array is never
+globally reset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ch.hierarchy import ContractionHierarchy
+from ..ch.query import upward_search
+from ..graph.csr import INF, StaticGraph
+from ..sssp.result import ShortestPathTree
+from ..utils.segments import segment_minimum
+from .sweep import SweepStructure
+
+__all__ = ["PhastEngine", "phast_scalar"]
+
+
+class PhastEngine:
+    """Reusable PHAST query engine over one contraction hierarchy.
+
+    Parameters
+    ----------
+    ch:
+        Preprocessed hierarchy (see :func:`repro.ch.contract_graph`).
+    reorder:
+        ``True`` (default) sweeps over level-contiguous positions — the
+        paper's "reordered by level" variant with sequential output
+        writes.  ``False`` keeps original vertex IDs and uses
+        scatter/gather per level — the "original ordering" variant of
+        Table I, which does the same work with worse locality.
+    explicit_init:
+        ``True`` re-fills the whole distance array with ∞ before every
+        query instead of relying on implicit initialization; exists for
+        the Section IV-C ablation.
+
+    Notes
+    -----
+    The engine owns a persistent distance buffer, so queries after the
+    first perform no O(n) initialization (implicit init).  Engines are
+    not thread-safe; use one per worker.
+    """
+
+    #: Levels with fewer incoming arcs than this are swept with plain
+    #: Python loops: the hierarchy's top levels hold a handful of
+    #: vertices each, and fixed NumPy call overhead would dominate
+    #: there (the small-kernel regime the paper notes for its GPU
+    #: kernels too).
+    SCALAR_ARC_THRESHOLD = 48
+
+    def __init__(
+        self,
+        ch: ContractionHierarchy,
+        *,
+        reorder: bool = True,
+        explicit_init: bool = False,
+    ) -> None:
+        self.ch = ch
+        self.sweep = SweepStructure(ch)
+        self.reorder = bool(reorder)
+        self.explicit_init = bool(explicit_init)
+        n = ch.n
+        if self.reorder:
+            self._tails = self.sweep.arc_tail_pos
+        else:
+            # Original-ID mode: translate sweep positions back to IDs.
+            self._tails = self.sweep.vertex_at[self.sweep.arc_tail_pos]
+        self._dist = np.empty(n, dtype=np.int64)
+        self._dist_multi: np.ndarray | None = None
+        self.last_stats: dict = {}
+        self._prepare_scalar_prefix()
+
+    def _prepare_scalar_prefix(self) -> None:
+        """Precompute the leading small levels handled by scalar code.
+
+        Only meaningful for the reordered implicit-init fast path; the
+        prefix is contiguous because the sweep is level-descending and
+        every arc's tail position precedes its head position, so the
+        prefix is self-contained.
+        """
+        sw = self.sweep
+        scalar_levels = 0
+        if self.reorder and not self.explicit_init:
+            for i in range(sw.num_levels):
+                alo, ahi = sw.level_arc_slice(i)
+                if ahi - alo >= self.SCALAR_ARC_THRESHOLD:
+                    break
+                scalar_levels += 1
+        self._scalar_levels = scalar_levels
+        self._prefix_positions = int(sw.level_first[scalar_levels])
+        prefix_arcs = int(sw.arc_first[self._prefix_positions])
+        # Python-list shadows: scalar indexing of lists is several times
+        # faster than scalar indexing of NumPy arrays.
+        self._prefix_first = sw.arc_first[: self._prefix_positions + 1].tolist()
+        self._prefix_tails = sw.arc_tail_pos[:prefix_arcs].tolist()
+        self._prefix_lens = sw.arc_len[:prefix_arcs].tolist()
+        # Per-level reduceat plans (static across queries): slice
+        # bounds, the starts of non-empty head segments, and the mask
+        # of heads with any incoming arc.
+        self._level_plans: list[tuple[int, int, int, int, np.ndarray, np.ndarray]] = []
+        for i in range(sw.num_levels):
+            lo, hi = sw.level_slice(i)
+            alo, ahi = sw.level_arc_slice(i)
+            bounds = sw.arc_first[lo : hi + 1] - alo
+            nonempty = bounds[:-1] < bounds[1:]
+            starts = bounds[:-1][nonempty]
+            self._level_plans.append((lo, hi, alo, ahi, starts, nonempty))
+
+    # -- internals --------------------------------------------------------
+
+    def _search_by_position(
+        self, source: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """CH search space as (sorted sweep positions, labels)."""
+        space = upward_search(self.ch, source)
+        pos = self.sweep.pos_of[space.vertices]
+        order = np.argsort(pos)
+        self.last_stats["ch_search_size"] = space.size
+        return pos[order], space.dists[order]
+
+    def _level_values(
+        self,
+        i: int,
+        dist: np.ndarray,
+        marked_pos: np.ndarray,
+        marked_val: np.ndarray,
+        mk_lo: int,
+    ) -> tuple[np.ndarray, int, int, int]:
+        """Compute the labels of level block ``i``.
+
+        Returns ``(values, lo, hi, next_mk_lo)`` where ``values`` are
+        the final labels of sweep positions ``lo .. hi - 1`` and
+        ``next_mk_lo`` advances the pointer into the marked (CH search)
+        entries.
+        """
+        sw = self.sweep
+        lo, hi, alo, ahi, starts, nonempty = self._level_plans[i]
+        cand = dist[self._tails[alo:ahi]] + sw.arc_len[alo:ahi]
+        values = np.full(hi - lo, INF, dtype=np.int64)
+        if starts.size:
+            seg = np.minimum.reduceat(cand, starts)
+            np.minimum(seg, INF, out=seg)
+            values[nonempty] = seg
+        # Fold the CH search space entries that fall in this block.
+        mk_hi = mk_lo
+        while mk_hi < marked_pos.size and marked_pos[mk_hi] < hi:
+            mk_hi += 1
+        if mk_hi > mk_lo:
+            idx = marked_pos[mk_lo:mk_hi] - lo
+            np.minimum.at(values, idx, marked_val[mk_lo:mk_hi])
+        return values, lo, hi, mk_hi
+
+    # -- single tree --------------------------------------------------------
+
+    def tree(
+        self, source: int, *, with_parents: bool = False
+    ) -> ShortestPathTree:
+        """Compute all distances from ``source`` (one PHAST query).
+
+        Distances are returned indexed by *original* vertex IDs.  With
+        ``with_parents=True`` the parents are recovered in ``G+``
+        (shortcut arcs allowed; see :mod:`repro.core.trees` for
+        original-graph trees).
+        """
+        sw = self.sweep
+        dist = self._dist
+        if self.explicit_init:
+            dist.fill(INF)
+        marked_pos, marked_val = self._search_by_position(source)
+        if self.explicit_init:
+            # With a pre-filled array the search space can be scattered
+            # up front; the sweep then folds dist itself per level.
+            idx = marked_pos if self.reorder else sw.vertex_at[marked_pos]
+            dist[idx] = np.minimum(dist[idx], marked_val)
+        mk = 0
+        start_level = 0
+        if self._scalar_levels:
+            mk = self._scalar_prefix_sweep(dist, marked_pos, marked_val)
+            start_level = self._scalar_levels
+        for i in range(start_level, sw.num_levels):
+            if self.explicit_init:
+                lo, hi = sw.level_slice(i)
+                alo, ahi = sw.level_arc_slice(i)
+                cand = dist[self._tails[alo:ahi]] + sw.arc_len[alo:ahi]
+                boundaries = sw.arc_first[lo : hi + 1] - alo
+                block = dist[lo:hi] if self.reorder else dist[sw.vertex_at[lo:hi]]
+                values = segment_minimum(cand, boundaries, initial=block)
+                np.minimum(values, INF, out=values)
+            else:
+                values, lo, hi, mk = self._level_values(
+                    i, dist, marked_pos, marked_val, mk
+                )
+            if self.reorder:
+                dist[lo:hi] = values
+            else:
+                dist[sw.vertex_at[lo:hi]] = values
+        if self.reorder:
+            out = np.empty(sw.n, dtype=np.int64)
+            out[sw.vertex_at] = dist
+        else:
+            out = dist.copy()
+        tree = ShortestPathTree(source=source, dist=out, scanned=sw.n)
+        if with_parents:
+            tree.parent = self._parents_gplus(source, out)
+        return tree
+
+    def tree_with_sweep_parents(self, source: int) -> ShortestPathTree:
+        """One query computing parents *during* the sweep (Section VII-A).
+
+        "When scanning v during the linear sweep phase, it suffices to
+        remember the arc (u, v) responsible for d(v)" — per level, the
+        first arc achieving the segment minimum is recovered with one
+        vectorized comparison; vertices realized by the CH search take
+        their upward-search parent.  Parents are in ``G+`` (shortcuts
+        allowed).  Requires the reordered engine.
+        """
+        if not self.reorder:
+            raise ValueError("sweep parents require a reordered engine")
+        sw = self.sweep
+        n = sw.n
+        dist = self._dist
+        space = upward_search(self.ch, source)
+        pos = sw.pos_of[space.vertices]
+        order = np.argsort(pos)
+        marked_pos = pos[order]
+        marked_val = space.dists[order]
+        marked_parent = space.parents[order]
+        self.last_stats["ch_search_size"] = space.size
+
+        parent_pos = np.full(n, -1, dtype=np.int64)  # by sweep position
+        from_search = np.zeros(n, dtype=bool)
+        mk = 0
+        for i in range(sw.num_levels):
+            lo, hi, alo, ahi, starts, nonempty = self._level_plans[i]
+            cand = dist[self._tails[alo:ahi]] + sw.arc_len[alo:ahi]
+            values = np.full(hi - lo, INF, dtype=np.int64)
+            if starts.size:
+                seg = np.minimum.reduceat(cand, starts)
+                np.minimum(seg, INF, out=seg)
+                values[nonempty] = seg
+                # Arc responsible: first hit of the segment minimum.
+                owner = np.repeat(
+                    np.arange(hi - lo, dtype=np.int64),
+                    np.diff(sw.arc_first[lo : hi + 1]),
+                )
+                hits = np.flatnonzero(cand == values[owner])
+                if hits.size:
+                    heads, first_hit = np.unique(
+                        owner[hits], return_index=True
+                    )
+                    arc_idx = alo + hits[first_hit]
+                    parent_pos[lo + heads] = self._tails[arc_idx]
+            # CH search space entries of this block.
+            mk_hi = mk
+            while mk_hi < marked_pos.size and marked_pos[mk_hi] < hi:
+                mk_hi += 1
+            for j in range(mk, mk_hi):
+                p = int(marked_pos[j])
+                v = int(marked_val[j])
+                if v < values[p - lo]:
+                    values[p - lo] = v
+                    from_search[p] = True
+                    parent_pos[p] = marked_parent[j]  # original-ID parent!
+            mk = mk_hi
+            dist[lo:hi] = values
+
+        # Translate: sweep positions -> original IDs.  Entries set from
+        # the CH search already hold original IDs (flagged).
+        out = np.empty(n, dtype=np.int64)
+        out[sw.vertex_at] = dist
+        parent = np.full(n, -1, dtype=np.int64)
+        swept = (parent_pos >= 0) & ~from_search
+        parent[sw.vertex_at[swept]] = sw.vertex_at[parent_pos[swept]]
+        searched = (parent_pos >= 0) & from_search
+        parent[sw.vertex_at[searched]] = parent_pos[searched]
+        parent[source] = -1
+        return ShortestPathTree(
+            source=source, dist=out, parent=parent, scanned=n
+        )
+
+    def _scalar_prefix_sweep(
+        self, dist: np.ndarray, marked_pos: np.ndarray, marked_val: np.ndarray
+    ) -> int:
+        """Sweep the leading small levels with plain Python loops.
+
+        Returns the advanced pointer into the marked (CH search)
+        entries.  Writes the computed prefix into ``dist`` in one shot.
+        """
+        P = self._prefix_positions
+        first = self._prefix_first
+        tails = self._prefix_tails
+        lens = self._prefix_lens
+        inf = int(INF)
+        mpos = marked_pos
+        mval = marked_val
+        mk = 0
+        out = [0] * P
+        for pos in range(P):
+            best = inf
+            for i in range(first[pos], first[pos + 1]):
+                c = out[tails[i]] + lens[i]
+                if c < best:
+                    best = c
+            while mk < mpos.size and mpos[mk] == pos:
+                v = int(mval[mk])
+                if v < best:
+                    best = v
+                mk += 1
+            out[pos] = best if best < inf else inf
+        dist[:P] = out
+        return mk
+
+    # -- multiple trees -------------------------------------------------------
+
+    def trees(
+        self, sources: np.ndarray | list[int]
+    ) -> np.ndarray:
+        """Compute ``k`` trees in one sweep (Section IV-B).
+
+        The ``k`` labels of one vertex are adjacent in memory (a
+        ``(n, k)`` row-major array), so each arc relaxation updates a
+        contiguous lane vector — NumPy's analogue of the paper's SSE
+        lanes.
+
+        Returns an ``(k, n)`` array of distances indexed by original
+        vertex ID.
+        """
+        sources = np.asarray(sources, dtype=np.int64)
+        k = sources.size
+        sw = self.sweep
+        if self._dist_multi is None or self._dist_multi.shape[1] != k:
+            self._dist_multi = np.empty((sw.n, k), dtype=np.int64)
+        dist = self._dist_multi
+        spaces = [self._search_by_position(int(s)) for s in sources]
+        pointers = [0] * k
+        for i in range(sw.num_levels):
+            lo, hi, alo, ahi, starts, nonempty = self._level_plans[i]
+            cand = dist[self._tails[alo:ahi], :] + sw.arc_len[alo:ahi, None]
+            values = np.full((hi - lo, k), INF, dtype=np.int64)
+            if starts.size:
+                seg = np.minimum.reduceat(cand, starts, axis=0)
+                np.minimum(seg, INF, out=seg)
+                values[nonempty] = seg
+            for j, (marked_pos, marked_val) in enumerate(spaces):
+                mk = pointers[j]
+                mk_hi = mk
+                while mk_hi < marked_pos.size and marked_pos[mk_hi] < hi:
+                    mk_hi += 1
+                if mk_hi > mk:
+                    idx = marked_pos[mk:mk_hi] - lo
+                    np.minimum.at(values[:, j], idx, marked_val[mk:mk_hi])
+                pointers[j] = mk_hi
+            dist[lo:hi, :] = values
+        out = np.empty((k, sw.n), dtype=np.int64)
+        out[:, sw.vertex_at] = dist.T
+        return out
+
+    # -- parents ---------------------------------------------------------------
+
+    def _parents_gplus(self, source: int, dist_orig: np.ndarray) -> np.ndarray:
+        """Parent pointers in ``G+`` (may traverse shortcut arcs).
+
+        For every vertex the arc that realizes its label is recovered
+        by re-checking the identity ``d(v) == d(u) + l(u, v)`` over the
+        downward arc list; vertices whose label came from the CH search
+        get their upward-search parent.
+        """
+        sw = self.sweep
+        n = sw.n
+        parent = np.full(n, -1, dtype=np.int64)
+        tails_orig = sw.vertex_at[sw.arc_tail_pos]
+        heads_orig = sw.vertex_at[
+            np.repeat(np.arange(n, dtype=np.int64), np.diff(sw.arc_first))
+        ]
+        ok = dist_orig[heads_orig] == dist_orig[tails_orig] + sw.arc_len
+        ok &= dist_orig[heads_orig] < INF
+        # Last write wins; any satisfying arc is a valid parent.
+        parent[heads_orig[ok]] = tails_orig[ok]
+        # Vertices realized by the upward search (no downward arc
+        # matches): take CH-search parents.
+        space = upward_search(self.ch, source)
+        need = parent[space.vertices] == -1
+        exact = dist_orig[space.vertices] == space.dists
+        use = need & exact
+        parent[space.vertices[use]] = space.parents[use]
+        parent[source] = -1
+        return parent
+
+
+def phast_scalar(
+    ch: ContractionHierarchy, source: int, *, with_parents: bool = False
+) -> ShortestPathTree:
+    """Reference implementation of basic PHAST (Section III).
+
+    Scans vertices one by one in descending rank order with plain
+    Python loops.  Used to validate the vectorized engine; far too slow
+    for benchmarks.
+    """
+    n = ch.n
+    dist = np.full(n, INF, dtype=np.int64)
+    parent = np.full(n, -1, dtype=np.int64) if with_parents else None
+    space = upward_search(ch, source)
+    for v, d, p in zip(space.vertices, space.dists, space.parents):
+        if d < dist[v]:
+            dist[v] = d
+            if parent is not None:
+                parent[v] = p
+    down = ch.downward_rev
+    order = np.argsort(-ch.rank)  # descending rank
+    for v in order:
+        lo, hi = down.first[v], down.first[v + 1]
+        for i in range(lo, hi):
+            u = int(down.arc_head[i])
+            nd = dist[u] + int(down.arc_len[i])
+            if nd < dist[v]:
+                dist[v] = nd
+                if parent is not None:
+                    parent[v] = u
+    if parent is not None:
+        parent[source] = -1
+    return ShortestPathTree(source=source, dist=dist, parent=parent, scanned=n)

@@ -1,0 +1,130 @@
+"""The PHAST sweep data structure.
+
+:class:`SweepStructure` freezes everything the linear sweep needs into
+flat arrays ordered for locality, following Section IV-A:
+
+* vertices are assigned *sweep positions* sorted by descending CH level
+  (ties broken by input ID, preserving whatever locality — e.g. a DFS
+  layout — the input order had);
+* the downward arcs into each vertex are stored contiguously, grouped
+  by head, in sweep-position order, so one pass over the arc arrays
+  visits heads sequentially;
+* per-level boundaries into both the position range and the arc range
+  let the sweep (and its parallel/GPU variants) process one level at a
+  time with pure slice arithmetic.
+
+The structure is source-independent — built once per hierarchy, reused
+by every query, which is the asymmetry PHAST exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ch.hierarchy import ContractionHierarchy
+
+__all__ = ["SweepStructure"]
+
+
+class SweepStructure:
+    """Level-ordered downward graph, frozen for linear sweeps.
+
+    Attributes
+    ----------
+    n:
+        Vertex count.
+    pos_of:
+        ``pos_of[v]`` is the sweep position of original vertex ``v``.
+    vertex_at:
+        Inverse permutation: original ID at each sweep position.
+    num_levels:
+        Number of CH levels.
+    level_first:
+        Array of length ``num_levels + 1``; level block ``i`` (the
+        ``i``-th *scanned*, i.e. the ``i``-th highest level) covers
+        sweep positions ``level_first[i] .. level_first[i+1]-1``.
+    arc_first:
+        CSR offsets per sweep position into the arc arrays
+        (length ``n + 1``).
+    arc_tail_pos:
+        Sweep position of each downward arc's tail.
+    arc_len:
+        Length of each downward arc.
+    arc_via:
+        Shortcut middle vertex (original ID) per arc, -1 for original
+        arcs; used when reconstructing parent pointers in ``G+``.
+    """
+
+    __slots__ = (
+        "n",
+        "pos_of",
+        "vertex_at",
+        "num_levels",
+        "level_first",
+        "arc_first",
+        "arc_tail_pos",
+        "arc_len",
+        "arc_via",
+        "level_of_pos",
+    )
+
+    def __init__(self, ch: ContractionHierarchy) -> None:
+        n = ch.n
+        self.n = n
+        levels = ch.level
+        order = np.lexsort((np.arange(n), -levels))  # by (-level, id)
+        self.vertex_at = order.astype(np.int64)
+        self.pos_of = np.empty(n, dtype=np.int64)
+        self.pos_of[order] = np.arange(n, dtype=np.int64)
+        self.level_of_pos = levels[order]
+        self.num_levels = int(levels.max()) + 1 if n else 0
+
+        # Level boundaries over sweep positions (descending level).
+        # level_first[i] = first position whose level <= max_level - i.
+        counts = np.bincount(levels, minlength=self.num_levels)[::-1]
+        self.level_first = np.concatenate(
+            ([0], np.cumsum(counts))
+        ).astype(np.int64)
+
+        # Downward arcs: ch.downward_rev stores, per head v, the tails u
+        # (rank[u] > rank[v]).  Re-group by head *sweep position*.
+        down = ch.downward_rev
+        heads_orig = down.arc_tails()  # head of the downward arc
+        tails_orig = down.arc_head  # tail (higher-ranked endpoint)
+        head_pos = self.pos_of[heads_orig]
+        arc_order = np.argsort(head_pos, kind="stable")
+        head_pos = head_pos[arc_order]
+        self.arc_tail_pos = self.pos_of[tails_orig[arc_order]]
+        self.arc_len = down.arc_len[arc_order].astype(np.int64)
+        self.arc_via = ch.downward_via[arc_order].astype(np.int64)
+        self.arc_first = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(self.arc_first, head_pos + 1, 1)
+        np.cumsum(self.arc_first, out=self.arc_first)
+
+    @property
+    def num_arcs(self) -> int:
+        """Downward arcs scanned per sweep."""
+        return int(self.arc_len.size)
+
+    def level_slice(self, i: int) -> tuple[int, int]:
+        """Sweep-position range of the ``i``-th scanned level block."""
+        return int(self.level_first[i]), int(self.level_first[i + 1])
+
+    def level_arc_slice(self, i: int) -> tuple[int, int]:
+        """Arc range feeding the ``i``-th scanned level block."""
+        lo, hi = self.level_slice(i)
+        return int(self.arc_first[lo]), int(self.arc_first[hi])
+
+    def level_sizes(self) -> np.ndarray:
+        """Vertices per scanned level block (descending level order)."""
+        return np.diff(self.level_first)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the sweep arrays (GPU memory accounting uses this)."""
+        return (
+            self.arc_first.nbytes
+            + self.arc_tail_pos.nbytes
+            + self.arc_len.nbytes
+            + self.level_first.nbytes
+        )

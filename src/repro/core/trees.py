@@ -1,0 +1,135 @@
+"""Shortest path tree construction and traversal (Section VII-A).
+
+PHAST's sweep produces distance labels; applications usually also need
+the tree itself.  Parents *in the original graph* are recovered with a
+single vectorized pass over the original arc list, checking the identity
+``d(v) == d(u) + l(u, v)`` — valid whenever original arc lengths are
+strictly positive (zero-length arcs could build cyclic "trees"; callers
+with zero-length arcs should use ``G+`` parents instead).
+
+Bottom-up aggregation over the tree (needed by reach and betweenness) is
+done level-synchronously in the same sweep order the labels were
+computed in, which the paper notes is the cache-efficient way to
+traverse the result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import INF, StaticGraph
+
+__all__ = [
+    "parents_in_original_graph",
+    "validate_tree",
+    "subtree_aggregate",
+    "tree_depths",
+]
+
+
+def parents_in_original_graph(
+    graph: StaticGraph, dist: np.ndarray, source: int
+) -> np.ndarray:
+    """Recover original-graph parent pointers from distance labels.
+
+    One pass over the arc list: for every arc ``(u, v)`` with
+    ``d(u) + l(u, v) == d(v)`` make ``u`` the parent of ``v``.  When
+    several arcs qualify an arbitrary one wins — all describe shortest
+    paths.
+
+    Parameters
+    ----------
+    graph:
+        The *original* graph (not ``G+``).
+    dist:
+        Correct distance labels from ``source`` (e.g. a PHAST result).
+    source:
+        The root; its parent is -1.
+    """
+    if graph.m and int(graph.arc_len.min()) <= 0:
+        raise ValueError(
+            "original-graph tree recovery requires strictly positive arc "
+            "lengths (Section VII-A); use G+ parents otherwise"
+        )
+    n = graph.n
+    parent = np.full(n, -1, dtype=np.int64)
+    tails = graph.arc_tails()
+    heads = graph.arc_head
+    finite = dist[tails] < INF
+    ok = finite & (dist[tails] + graph.arc_len == dist[heads])
+    parent[heads[ok]] = tails[ok]
+    parent[source] = -1
+    return parent
+
+
+def validate_tree(
+    graph: StaticGraph, dist: np.ndarray, parent: np.ndarray, source: int
+) -> bool:
+    """Check that ``parent`` encodes a valid shortest-path tree.
+
+    Verifies that every reachable non-source vertex has a parent, that
+    each parent arc exists with the right length, and that labels are
+    consistent along tree arcs.
+    """
+    n = graph.n
+    reached = dist < INF
+    if not reached[source] or dist[source] != 0:
+        return False
+    for v in np.flatnonzero(reached):
+        v = int(v)
+        if v == source:
+            continue
+        u = int(parent[v])
+        if u < 0:
+            return False
+        try:
+            l = graph.arc_length(u, v)
+        except KeyError:
+            return False
+        if dist[u] + l != dist[v]:
+            return False
+    return True
+
+
+def tree_depths(parent: np.ndarray, dist: np.ndarray, source: int) -> np.ndarray:
+    """Hop depth of every reachable vertex in the tree (root = 0).
+
+    Processes vertices in order of increasing distance, which is a
+    valid topological order of any shortest-path tree.
+    """
+    n = parent.size
+    depth = np.full(n, -1, dtype=np.int64)
+    depth[source] = 0
+    order = np.argsort(dist, kind="stable")
+    for v in order:
+        v = int(v)
+        if dist[v] >= INF or v == source:
+            continue
+        p = int(parent[v])
+        if p >= 0 and depth[p] >= 0:
+            depth[v] = depth[p] + 1
+    return depth
+
+
+def subtree_aggregate(
+    parent: np.ndarray,
+    dist: np.ndarray,
+    values: np.ndarray,
+    source: int,
+) -> np.ndarray:
+    """Bottom-up sum over the tree: each vertex's value plus descendants'.
+
+    Used by betweenness (dependency accumulation) and reach (subtree
+    depth).  Vertices are visited in decreasing distance order, so every
+    child is folded into its parent exactly once.
+    """
+    out = values.astype(np.float64).copy()
+    order = np.argsort(-dist, kind="stable")
+    for v in order:
+        v = int(v)
+        if dist[v] >= INF or v == source:
+            continue
+        p = int(parent[v])
+        if p >= 0:
+            out[p] += out[v]
+    return out

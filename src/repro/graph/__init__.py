@@ -1,0 +1,76 @@
+"""Graph substrate: CSR storage, builders, layouts, generators, I/O."""
+
+from .analysis import (
+    hitting_set_profile,
+    long_path_hitting_set,
+    sample_shortest_paths,
+)
+from .builder import GraphBuilder
+from .csr import INF, StaticGraph
+from .dimacs import read_co, read_gr, write_co, write_gr
+from .generators import (
+    RoadNetworkParams,
+    complete_graph,
+    cycle_graph,
+    europe_like,
+    grid_graph,
+    path_graph,
+    random_graph,
+    road_network,
+    road_network_coordinates,
+    star_graph,
+    usa_like,
+)
+from .serialize import load_graph, load_hierarchy, save_graph, save_hierarchy
+from .reorder import (
+    compose_permutations,
+    dfs_order,
+    identity_order,
+    invert_permutation,
+    level_order,
+    random_order,
+)
+from .validation import (
+    check_graph,
+    connected_components,
+    is_strongly_connected,
+    largest_strongly_connected_component,
+)
+
+__all__ = [
+    "INF",
+    "StaticGraph",
+    "GraphBuilder",
+    "read_gr",
+    "write_gr",
+    "read_co",
+    "write_co",
+    "RoadNetworkParams",
+    "road_network",
+    "road_network_coordinates",
+    "europe_like",
+    "usa_like",
+    "grid_graph",
+    "random_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "identity_order",
+    "random_order",
+    "dfs_order",
+    "level_order",
+    "invert_permutation",
+    "compose_permutations",
+    "check_graph",
+    "is_strongly_connected",
+    "connected_components",
+    "largest_strongly_connected_component",
+    "hitting_set_profile",
+    "long_path_hitting_set",
+    "sample_shortest_paths",
+    "save_graph",
+    "load_graph",
+    "save_hierarchy",
+    "load_hierarchy",
+]

@@ -1,0 +1,100 @@
+"""Mutable graph builder used before freezing into :class:`StaticGraph`.
+
+CH preprocessing and the synthetic generators assemble arcs
+incrementally; this builder collects them, optionally deduplicates
+parallel arcs (keeping the shortest), and emits the immutable CSR
+structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import StaticGraph
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Accumulates arcs for a directed graph under construction.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices, fixed at construction time.
+
+    Examples
+    --------
+    >>> b = GraphBuilder(3)
+    >>> b.add_arc(0, 1, 5)
+    >>> b.add_arc(1, 2, 7)
+    >>> g = b.build()
+    >>> g.m
+    2
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("vertex count must be non-negative")
+        self.n = int(n)
+        self._tails: list[int] = []
+        self._heads: list[int] = []
+        self._lens: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._tails)
+
+    def add_arc(self, tail: int, head: int, length: int) -> None:
+        """Record a directed arc ``tail -> head``."""
+        if not (0 <= tail < self.n and 0 <= head < self.n):
+            raise ValueError(f"arc ({tail}, {head}) out of range for n={self.n}")
+        if length < 0:
+            raise ValueError("arc length must be non-negative")
+        self._tails.append(int(tail))
+        self._heads.append(int(head))
+        self._lens.append(int(length))
+
+    def add_edge(self, u: int, v: int, length: int) -> None:
+        """Record an undirected edge as a pair of opposite arcs."""
+        self.add_arc(u, v, length)
+        self.add_arc(v, u, length)
+
+    def extend(self, arcs) -> None:
+        """Record many ``(tail, head, length)`` triples."""
+        for t, h, l in arcs:
+            self.add_arc(t, h, l)
+
+    def build(
+        self,
+        *,
+        dedupe: bool = False,
+        drop_self_loops: bool = False,
+    ) -> StaticGraph:
+        """Freeze into a :class:`StaticGraph`.
+
+        Parameters
+        ----------
+        dedupe:
+            Collapse parallel arcs, keeping the minimum length.  Road
+            network inputs routinely contain parallel arcs; algorithms
+            here tolerate them, but deduping keeps CH smaller.
+        drop_self_loops:
+            Remove arcs ``(v, v)``.  Self loops never lie on shortest
+            paths under non-negative lengths and only slow scans down.
+        """
+        tails = np.asarray(self._tails, dtype=np.int64)
+        heads = np.asarray(self._heads, dtype=np.int64)
+        lens = np.asarray(self._lens, dtype=np.int64)
+        if drop_self_loops and tails.size:
+            keep = tails != heads
+            tails, heads, lens = tails[keep], heads[keep], lens[keep]
+        if dedupe and tails.size:
+            # Sort by (tail, head, length); the first entry in each
+            # (tail, head) run is then the shortest parallel arc.
+            order = np.lexsort((lens, heads, tails))
+            tails, heads, lens = tails[order], heads[order], lens[order]
+            new_pair = np.empty(tails.size, dtype=bool)
+            new_pair[0] = True
+            new_pair[1:] = (tails[1:] != tails[:-1]) | (heads[1:] != heads[:-1])
+            tails, heads, lens = tails[new_pair], heads[new_pair], lens[new_pair]
+        return StaticGraph(self.n, tails, heads, lens)

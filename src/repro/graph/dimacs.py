@@ -1,0 +1,140 @@
+"""DIMACS shortest-path challenge file formats.
+
+The paper's inputs are distributed in the 9th DIMACS Implementation
+Challenge format.  The graph file (``.gr``) is a line-oriented text
+format::
+
+    c <comment>
+    p sp <n> <m>
+    a <tail> <head> <length>     (1-based vertex IDs)
+
+Coordinate files (``.co``) carry one ``v <id> <x> <y>`` line per vertex.
+This module reads and writes both so the reproduction can run on the
+real DIMACS instances when they are available.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from .csr import StaticGraph
+
+__all__ = ["read_gr", "write_gr", "read_co", "write_co"]
+
+
+def _open(path_or_file, mode: str):
+    if isinstance(path_or_file, (str, Path)):
+        return open(path_or_file, mode), True
+    return path_or_file, False
+
+
+def read_gr(path_or_file: str | Path | TextIO) -> StaticGraph:
+    """Parse a DIMACS ``.gr`` file into a :class:`StaticGraph`.
+
+    Vertex IDs are converted from the format's 1-based convention to
+    0-based.  Raises ``ValueError`` on malformed input or if the arc
+    count disagrees with the ``p`` line.
+    """
+    f, should_close = _open(path_or_file, "r")
+    try:
+        n = m = None
+        tails: list[int] = []
+        heads: list[int] = []
+        lens: list[int] = []
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line or line.startswith("c"):
+                continue
+            parts = line.split()
+            if parts[0] == "p":
+                if len(parts) != 4 or parts[1] != "sp":
+                    raise ValueError(f"line {lineno}: bad problem line {line!r}")
+                n, m = int(parts[2]), int(parts[3])
+            elif parts[0] == "a":
+                if len(parts) != 4:
+                    raise ValueError(f"line {lineno}: bad arc line {line!r}")
+                if n is None:
+                    raise ValueError(f"line {lineno}: arc before problem line")
+                tails.append(int(parts[1]) - 1)
+                heads.append(int(parts[2]) - 1)
+                lens.append(int(parts[3]))
+            else:
+                raise ValueError(f"line {lineno}: unknown record {parts[0]!r}")
+        if n is None:
+            raise ValueError("missing problem line")
+        if m is not None and m != len(tails):
+            raise ValueError(f"problem line declares {m} arcs, found {len(tails)}")
+        return StaticGraph(n, tails, heads, lens)
+    finally:
+        if should_close:
+            f.close()
+
+
+def write_gr(
+    graph: StaticGraph,
+    path_or_file: str | Path | TextIO,
+    comment: str | None = None,
+) -> None:
+    """Serialize a graph in DIMACS ``.gr`` format (1-based IDs)."""
+    f, should_close = _open(path_or_file, "w")
+    try:
+        if comment:
+            for line in comment.splitlines():
+                f.write(f"c {line}\n")
+        f.write(f"p sp {graph.n} {graph.m}\n")
+        tails = graph.arc_tails()
+        buf = io.StringIO()
+        for t, h, l in zip(tails, graph.arc_head, graph.arc_len):
+            buf.write(f"a {t + 1} {h + 1} {l}\n")
+        f.write(buf.getvalue())
+    finally:
+        if should_close:
+            f.close()
+
+
+def read_co(path_or_file: str | Path | TextIO) -> np.ndarray:
+    """Parse a DIMACS ``.co`` coordinate file into an ``(n, 2)`` array."""
+    f, should_close = _open(path_or_file, "r")
+    try:
+        n = None
+        coords = None
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line or line.startswith("c"):
+                continue
+            parts = line.split()
+            if parts[0] == "p":
+                # "p aux sp co <n>"
+                n = int(parts[-1])
+                coords = np.zeros((n, 2), dtype=np.int64)
+            elif parts[0] == "v":
+                if coords is None:
+                    raise ValueError(f"line {lineno}: vertex before problem line")
+                vid = int(parts[1]) - 1
+                coords[vid, 0] = int(parts[2])
+                coords[vid, 1] = int(parts[3])
+            else:
+                raise ValueError(f"line {lineno}: unknown record {parts[0]!r}")
+        if coords is None:
+            raise ValueError("missing problem line")
+        return coords
+    finally:
+        if should_close:
+            f.close()
+
+
+def write_co(coords: np.ndarray, path_or_file: str | Path | TextIO) -> None:
+    """Serialize vertex coordinates in DIMACS ``.co`` format."""
+    coords = np.asarray(coords)
+    f, should_close = _open(path_or_file, "w")
+    try:
+        f.write(f"p aux sp co {coords.shape[0]}\n")
+        for i, (x, y) in enumerate(coords, start=1):
+            f.write(f"v {i} {int(x)} {int(y)}\n")
+    finally:
+        if should_close:
+            f.close()

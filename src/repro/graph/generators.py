@@ -1,0 +1,338 @@
+"""Synthetic network generators.
+
+The paper's benchmark inputs (DIMACS Europe and USA road networks) are
+not redistributable here, so the experiments run on synthetic road
+networks engineered to have the property PHAST exploits: low highway
+dimension, i.e. a sparse tier of fast roads that carries all long
+shortest paths.  The generator builds a jittered grid of local streets
+overlaid with arterial and highway tiers at increasing spacing and
+speed, yielding contraction hierarchies with the paper's shape (shallow,
+with roughly half the vertices at level 0 — see Figure 1).
+
+Two metrics are offered per network, mirroring Section VIII-G:
+
+* ``"time"`` — arc length is travel time (distance / speed); the
+  hierarchy is pronounced and CH stays shallow.
+* ``"distance"`` — arc length is geometric distance; the hierarchy is
+  weaker and CH grows deeper, exactly as the paper reports (140 levels
+  for time vs 410 for distance on Europe).
+
+Plain random multigraphs and small fixtures used by the test-suite are
+also provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .builder import GraphBuilder
+from .csr import StaticGraph
+
+__all__ = [
+    "RoadNetworkParams",
+    "road_network",
+    "road_network_coordinates",
+    "europe_like",
+    "usa_like",
+    "grid_graph",
+    "random_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+]
+
+
+@dataclass(frozen=True)
+class RoadNetworkParams:
+    """Tuning knobs of the synthetic road-network generator.
+
+    Attributes
+    ----------
+    rows, cols:
+        Grid dimensions; the network has ``rows * cols`` vertices.
+    arterial_every, highway_every:
+        Spacing (in grid cells) of the arterial and highway tiers.
+    local_speed, arterial_speed, highway_speed:
+        Tier speeds used by the travel-time metric (km/h-like units).
+    cell_meters:
+        Nominal grid spacing; per-edge distance is jittered around it.
+    removal_prob:
+        Probability of deleting a local street segment (deletions that
+        would disconnect the network are re-added).
+    metric:
+        ``"time"`` or ``"distance"``.
+    seed:
+        RNG seed; the generator is fully deterministic given the seed.
+    """
+
+    rows: int = 64
+    cols: int = 64
+    arterial_every: int = 8
+    highway_every: int = 32
+    local_speed: float = 30.0
+    arterial_speed: float = 70.0
+    highway_speed: float = 120.0
+    cell_meters: float = 100.0
+    removal_prob: float = 0.08
+    metric: str = "time"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rows < 2 or self.cols < 2:
+            raise ValueError("grid must be at least 2x2")
+        if self.metric not in ("time", "distance"):
+            raise ValueError("metric must be 'time' or 'distance'")
+        if not 0.0 <= self.removal_prob < 1.0:
+            raise ValueError("removal_prob must be in [0, 1)")
+
+
+class _UnionFind:
+    """Array-based union-find used to keep deletions connectivity-safe."""
+
+    def __init__(self, n: int) -> None:
+        self.parent = np.arange(n, dtype=np.int64)
+
+    def find(self, x: int) -> int:
+        p = self.parent
+        root = x
+        while p[root] != root:
+            root = p[root]
+        while p[x] != root:  # path compression
+            p[x], x = root, p[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self.parent[ra] = rb
+        return True
+
+
+def _edge_speed(params: RoadNetworkParams, fixed: int) -> float:
+    """Speed tier of a grid line with index ``fixed`` (row or column)."""
+    if fixed % params.highway_every == 0:
+        return params.highway_speed
+    if fixed % params.arterial_every == 0:
+        return params.arterial_speed
+    return params.local_speed
+
+
+def road_network(params: RoadNetworkParams | None = None) -> StaticGraph:
+    """Generate a synthetic road network.
+
+    Returns a strongly connected :class:`StaticGraph` whose arcs come in
+    symmetric pairs (roads are two-way).  Arc lengths are positive
+    integers: deciseconds of travel time for the ``"time"`` metric,
+    meters for ``"distance"``.
+    """
+    p = params or RoadNetworkParams()
+    rng = np.random.default_rng(p.seed)
+    n = p.rows * p.cols
+
+    def vid(r: int, c: int) -> int:
+        return r * p.cols + c
+
+    # Enumerate undirected grid edges with their tier speed.
+    us: list[int] = []
+    vs: list[int] = []
+    speeds: list[float] = []
+    local_flags: list[bool] = []
+    for r in range(p.rows):
+        row_speed = _edge_speed(p, r)
+        for c in range(p.cols - 1):
+            us.append(vid(r, c))
+            vs.append(vid(r, c + 1))
+            speeds.append(row_speed)
+            local_flags.append(row_speed == p.local_speed)
+    for c in range(p.cols):
+        col_speed = _edge_speed(p, c)
+        for r in range(p.rows - 1):
+            us.append(vid(r, c))
+            vs.append(vid(r + 1, c))
+            speeds.append(col_speed)
+            local_flags.append(col_speed == p.local_speed)
+
+    us_a = np.asarray(us, dtype=np.int64)
+    vs_a = np.asarray(vs, dtype=np.int64)
+    speeds_a = np.asarray(speeds)
+    local_a = np.asarray(local_flags)
+    n_edges = us_a.size
+
+    # Geometric length: jittered grid spacing.  Jitter breaks the exact
+    # ties a perfect lattice produces, which would make shortest paths
+    # degenerate and CH orders unstable.
+    dist_m = p.cell_meters * rng.uniform(0.7, 1.3, size=n_edges)
+
+    # Mark local edges for deletion, then undo any deletion that would
+    # disconnect the network (union-find over the kept skeleton).
+    delete = local_a & (rng.random(n_edges) < p.removal_prob)
+    uf = _UnionFind(n)
+    for i in np.flatnonzero(~delete):
+        uf.union(int(us_a[i]), int(vs_a[i]))
+    for i in np.flatnonzero(delete):
+        a, b = int(us_a[i]), int(vs_a[i])
+        if uf.find(a) != uf.find(b):
+            delete[i] = False
+            uf.union(a, b)
+    keep = ~delete
+    us_a, vs_a, speeds_a, dist_m = us_a[keep], vs_a[keep], speeds_a[keep], dist_m[keep]
+
+    if p.metric == "time":
+        # deciseconds; minimum 1 to keep lengths strictly positive.
+        lengths = np.maximum(1, np.rint(dist_m / (speeds_a / 3.6) * 10)).astype(
+            np.int64
+        )
+    else:
+        lengths = np.maximum(1, np.rint(dist_m)).astype(np.int64)
+
+    tails = np.concatenate([us_a, vs_a])
+    heads = np.concatenate([vs_a, us_a])
+    lens = np.concatenate([lengths, lengths])
+    return StaticGraph(n, tails, heads, lens)
+
+
+def road_network_coordinates(params: RoadNetworkParams | None = None) -> np.ndarray:
+    """Planar coordinates (meters) for :func:`road_network`'s vertices.
+
+    Vertex ``r * cols + c`` sits near ``(c, r) * cell_meters`` with a
+    deterministic jitter.  Useful for DIMACS ``.co`` export and
+    geometry-aware partition seeds.  If the graph is later permuted,
+    apply the same permutation: ``coords[invert_permutation(new_id)]``
+    reorders rows to the new IDs.
+    """
+    p = params or RoadNetworkParams()
+    rng = np.random.default_rng(p.seed + 0x5EED)
+    r, c = np.divmod(np.arange(p.rows * p.cols), p.cols)
+    coords = np.stack([c, r], axis=1) * p.cell_meters
+    jitter = rng.uniform(-0.25, 0.25, size=coords.shape) * p.cell_meters
+    return np.rint(coords + jitter).astype(np.int64)
+
+
+def europe_like(scale: int = 64, metric: str = "time", seed: int = 0) -> StaticGraph:
+    """A Europe-like instance: dense local grid, strong highway tier.
+
+    ``scale`` is the grid side; the DIMACS Europe graph corresponds to
+    scale ≈ 4200 (18M vertices), far beyond pure Python — benchmarks use
+    64–512.
+    """
+    return road_network(
+        RoadNetworkParams(
+            rows=scale,
+            cols=scale,
+            arterial_every=8,
+            highway_every=32,
+            metric=metric,
+            seed=seed,
+        )
+    )
+
+
+def usa_like(scale: int = 64, metric: str = "time", seed: int = 1) -> StaticGraph:
+    """A USA-like instance: wider aspect ratio, sparser arterials.
+
+    Mirrors the paper's observation that USA (TIGER) is ~1.33x larger
+    than Europe with a slightly different hierarchy.
+    """
+    rows = scale
+    cols = int(scale * 1.33) + 1
+    return road_network(
+        RoadNetworkParams(
+            rows=rows,
+            cols=cols,
+            arterial_every=10,
+            highway_every=40,
+            metric=metric,
+            seed=seed,
+        )
+    )
+
+
+def grid_graph(rows: int, cols: int, length: int = 1) -> StaticGraph:
+    """Plain bidirected grid with uniform arc length (test fixture)."""
+    b = GraphBuilder(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                b.add_edge(v, v + 1, length)
+            if r + 1 < rows:
+                b.add_edge(v, v + cols, length)
+    return b.build()
+
+
+def random_graph(
+    n: int,
+    m: int,
+    max_len: int = 100,
+    seed: int | None = None,
+    *,
+    connected: bool = False,
+) -> StaticGraph:
+    """Uniform random directed multigraph with ``m`` arcs.
+
+    With ``connected=True`` a random spanning structure (a cycle through
+    a random vertex order, bidirected) is added first so every vertex is
+    reachable from every other; ``m`` then counts only the extra random
+    arcs.
+    """
+    rng = np.random.default_rng(seed)
+    tails_parts = []
+    heads_parts = []
+    lens_parts = []
+    if connected and n > 1:
+        order = rng.permutation(n)
+        nxt = np.roll(order, -1)
+        tails_parts += [order, nxt]
+        heads_parts += [nxt, order]
+        ring_lens = rng.integers(1, max_len + 1, size=n)
+        lens_parts += [ring_lens, ring_lens]
+    if m > 0:
+        tails_parts.append(rng.integers(0, n, size=m))
+        heads_parts.append(rng.integers(0, n, size=m))
+        lens_parts.append(rng.integers(0, max_len + 1, size=m))
+    if not tails_parts:
+        return StaticGraph(n, [], [], [])
+    return StaticGraph(
+        n,
+        np.concatenate(tails_parts),
+        np.concatenate(heads_parts),
+        np.concatenate(lens_parts),
+    )
+
+
+def path_graph(n: int, length: int = 1) -> StaticGraph:
+    """Bidirected path 0 - 1 - ... - (n-1)."""
+    b = GraphBuilder(n)
+    for v in range(n - 1):
+        b.add_edge(v, v + 1, length)
+    return b.build()
+
+
+def cycle_graph(n: int, length: int = 1) -> StaticGraph:
+    """Bidirected cycle on ``n`` vertices."""
+    b = GraphBuilder(n)
+    for v in range(n):
+        b.add_edge(v, (v + 1) % n, length)
+    return b.build()
+
+
+def star_graph(n: int, length: int = 1) -> StaticGraph:
+    """Vertex 0 connected to all others by bidirected edges."""
+    b = GraphBuilder(n)
+    for v in range(1, n):
+        b.add_edge(0, v, length)
+    return b.build()
+
+
+def complete_graph(n: int, length: int = 1) -> StaticGraph:
+    """All ordered pairs as arcs with uniform length."""
+    b = GraphBuilder(n)
+    for u in range(n):
+        for v in range(n):
+            if u != v:
+                b.add_arc(u, v, length)
+    return b.build()

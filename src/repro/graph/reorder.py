@@ -1,0 +1,142 @@
+"""Vertex orderings (graph layouts).
+
+The paper evaluates three input layouts — *random*, *input* (as
+downloaded) and *DFS* — and one PHAST-specific layout that sorts
+vertices by descending CH level (Section IV-A).  A layout is expressed
+as a permutation array ``new_id`` with ``new_id[v]`` the new ID of
+vertex ``v``; :meth:`repro.graph.csr.StaticGraph.permute` applies it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import StaticGraph
+
+__all__ = [
+    "identity_order",
+    "random_order",
+    "dfs_order",
+    "level_order",
+    "invert_permutation",
+    "compose_permutations",
+]
+
+
+def identity_order(n: int) -> np.ndarray:
+    """The *input* layout: vertices keep their IDs."""
+    return np.arange(n, dtype=np.int64)
+
+
+def random_order(n: int, seed: int | None = None) -> np.ndarray:
+    """The *random* layout: IDs assigned uniformly at random."""
+    rng = np.random.default_rng(seed)
+    return rng.permutation(n).astype(np.int64)
+
+
+def dfs_order(
+    graph: StaticGraph,
+    start: int = 0,
+    *,
+    undirected: bool = True,
+) -> np.ndarray:
+    """The *DFS* layout: IDs in depth-first discovery order.
+
+    Vertices are numbered in the order a depth-first search from
+    ``start`` discovers them; the search restarts at the smallest
+    undiscovered vertex until all vertices are numbered, so the result
+    is a full permutation even on disconnected graphs.
+
+    Parameters
+    ----------
+    undirected:
+        Traverse arcs in both directions (default).  Road networks are
+        strongly connected in practice, but synthetic instances may not
+        be; the undirected traversal keeps neighbourhoods contiguous
+        either way, which is all the layout is for.
+    """
+    n = graph.n
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    if not 0 <= start < n:
+        raise ValueError("start vertex out of range")
+    if undirected:
+        fwd, rev = graph, graph.reverse()
+    else:
+        fwd, rev = graph, None
+
+    new_id = np.full(n, -1, dtype=np.int64)
+    counter = 0
+    # Iterative DFS with an explicit stack; recursion would overflow on
+    # path-like road networks.
+    roots = [start] + [v for v in range(n) if v != start]
+    for root in roots:
+        if new_id[root] >= 0:
+            continue
+        stack = [root]
+        while stack:
+            v = stack.pop()
+            if new_id[v] >= 0:
+                continue
+            new_id[v] = counter
+            counter += 1
+            nbrs = fwd.neighbors(v)
+            if rev is not None:
+                nbrs = np.concatenate([nbrs, rev.neighbors(v)])
+            # Push in reverse so the lowest-index neighbour is explored
+            # first, giving a deterministic layout.
+            for w in nbrs[::-1]:
+                if new_id[w] < 0:
+                    stack.append(int(w))
+    return new_id
+
+
+def level_order(levels: np.ndarray, tie_break: np.ndarray | None = None) -> np.ndarray:
+    """The PHAST layout: lower IDs for higher CH levels.
+
+    Within one level the relative order of ``tie_break`` (typically the
+    incoming DFS layout IDs) is preserved, mirroring Section IV-A's
+    "within each level, we keep the DFS order".
+
+    Parameters
+    ----------
+    levels:
+        ``levels[v]`` is the CH level of vertex ``v``.
+    tie_break:
+        Secondary key; defaults to current vertex IDs.
+
+    Returns
+    -------
+    ``new_id`` permutation: ``new_id[v]`` is ``v``'s position in the
+    sweep (position 0 is scanned first, i.e. highest level).
+    """
+    levels = np.asarray(levels, dtype=np.int64)
+    n = levels.size
+    if tie_break is None:
+        tie_break = np.arange(n, dtype=np.int64)
+    else:
+        tie_break = np.asarray(tie_break, dtype=np.int64)
+        if tie_break.shape != levels.shape:
+            raise ValueError("tie_break has wrong size")
+    # lexsort: last key is primary.  Sort by (-level, tie_break).
+    order = np.lexsort((tie_break, -levels))
+    new_id = np.empty(n, dtype=np.int64)
+    new_id[order] = np.arange(n, dtype=np.int64)
+    return new_id
+
+
+def invert_permutation(perm: np.ndarray) -> np.ndarray:
+    """Return ``inv`` with ``inv[perm[v]] == v``."""
+    perm = np.asarray(perm, dtype=np.int64)
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(perm.size, dtype=np.int64)
+    return inv
+
+
+def compose_permutations(outer: np.ndarray, inner: np.ndarray) -> np.ndarray:
+    """Composition ``v -> outer[inner[v]]`` as a single permutation."""
+    outer = np.asarray(outer, dtype=np.int64)
+    inner = np.asarray(inner, dtype=np.int64)
+    if outer.size != inner.size:
+        raise ValueError("permutations must have equal size")
+    return outer[inner]

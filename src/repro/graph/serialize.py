@@ -1,0 +1,86 @@
+"""Binary serialization for graphs and hierarchies.
+
+CH preprocessing is the expensive step of the pipeline (minutes at
+scale); production deployments compute it once and ship the artifact.
+Graphs and hierarchies round-trip through NumPy ``.npz`` containers —
+compact, mmap-friendly, dependency-free.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .csr import StaticGraph
+
+__all__ = ["save_graph", "load_graph", "save_hierarchy", "load_hierarchy"]
+
+_GRAPH_MAGIC = "repro-graph-v1"
+_CH_MAGIC = "repro-ch-v1"
+
+
+def save_graph(graph: StaticGraph, path: str | Path) -> None:
+    """Write a :class:`StaticGraph` to ``path`` (.npz)."""
+    np.savez_compressed(
+        path,
+        magic=np.array(_GRAPH_MAGIC),
+        first=graph.first,
+        arc_head=graph.arc_head,
+        arc_len=graph.arc_len,
+    )
+
+
+def load_graph(path: str | Path) -> StaticGraph:
+    """Read a graph written by :func:`save_graph`."""
+    with np.load(path, allow_pickle=False) as data:
+        if str(data.get("magic", "")) != _GRAPH_MAGIC:
+            raise ValueError(f"{path}: not a repro graph file")
+        return StaticGraph.from_csr(
+            data["first"], data["arc_head"], data["arc_len"]
+        )
+
+
+def save_hierarchy(ch, path: str | Path) -> None:
+    """Write a :class:`~repro.ch.ContractionHierarchy` to ``path`` (.npz)."""
+    np.savez_compressed(
+        path,
+        magic=np.array(_CH_MAGIC),
+        rank=ch.rank,
+        level=ch.level,
+        up_first=ch.upward.first,
+        up_head=ch.upward.arc_head,
+        up_len=ch.upward.arc_len,
+        up_via=ch.upward_via,
+        down_first=ch.downward_rev.first,
+        down_head=ch.downward_rev.arc_head,
+        down_len=ch.downward_rev.arc_len,
+        down_via=ch.downward_via,
+        num_shortcuts=np.array(ch.num_shortcuts),
+    )
+
+
+def load_hierarchy(path: str | Path):
+    """Read a hierarchy written by :func:`save_hierarchy`."""
+    from ..ch.hierarchy import ContractionHierarchy
+
+    with np.load(path, allow_pickle=False) as data:
+        if str(data.get("magic", "")) != _CH_MAGIC:
+            raise ValueError(f"{path}: not a repro hierarchy file")
+        upward = StaticGraph.from_csr(
+            data["up_first"], data["up_head"], data["up_len"]
+        )
+        downward_rev = StaticGraph.from_csr(
+            data["down_first"], data["down_head"], data["down_len"]
+        )
+        return ContractionHierarchy(
+            n=upward.n,
+            rank=data["rank"],
+            level=data["level"],
+            upward=upward,
+            upward_via=data["up_via"],
+            downward_rev=downward_rev,
+            downward_via=data["down_via"],
+            num_shortcuts=int(data["num_shortcuts"]),
+            preprocessing_stats={"loaded_from": str(path)},
+        )

@@ -1,0 +1,159 @@
+"""Structural checks on graphs.
+
+Algorithms in this package assume non-negative integral lengths and, for
+road networks, strong connectivity.  These helpers verify such
+assumptions up front so failures surface at load time rather than as
+wrong distances deep inside a sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import StaticGraph
+
+__all__ = [
+    "check_graph",
+    "is_strongly_connected",
+    "connected_components",
+    "largest_strongly_connected_component",
+]
+
+
+def check_graph(graph: StaticGraph) -> None:
+    """Validate CSR invariants; raises ``ValueError`` on violation."""
+    if graph.first.size != graph.n + 1:
+        raise ValueError("first array has wrong size")
+    if graph.first[0] != 0 or graph.first[-1] != graph.m:
+        raise ValueError("first array endpoints are wrong")
+    if np.any(np.diff(graph.first) < 0):
+        raise ValueError("first array is not monotone")
+    if graph.arc_head.size != graph.m or graph.arc_len.size != graph.m:
+        raise ValueError("arc arrays have wrong size")
+    if graph.m:
+        if graph.arc_head.min() < 0 or graph.arc_head.max() >= graph.n:
+            raise ValueError("arc endpoint out of range")
+        if graph.arc_len.min() < 0:
+            raise ValueError("negative arc length")
+
+
+def _reachable(graph: StaticGraph, start: int) -> np.ndarray:
+    """Boolean reachability vector from ``start`` (iterative DFS)."""
+    seen = np.zeros(graph.n, dtype=bool)
+    if graph.n == 0:
+        return seen
+    stack = [start]
+    seen[start] = True
+    while stack:
+        v = stack.pop()
+        for w in graph.neighbors(v):
+            if not seen[w]:
+                seen[w] = True
+                stack.append(int(w))
+    return seen
+
+
+def is_strongly_connected(graph: StaticGraph) -> bool:
+    """True if every vertex can reach every other vertex."""
+    if graph.n <= 1:
+        return True
+    return bool(_reachable(graph, 0).all() and _reachable(graph.reverse(), 0).all())
+
+
+def connected_components(graph: StaticGraph) -> np.ndarray:
+    """Weakly connected component label per vertex (labels are 0-based)."""
+    n = graph.n
+    rev = graph.reverse()
+    label = np.full(n, -1, dtype=np.int64)
+    current = 0
+    for root in range(n):
+        if label[root] >= 0:
+            continue
+        stack = [root]
+        label[root] = current
+        while stack:
+            v = stack.pop()
+            for w in np.concatenate([graph.neighbors(v), rev.neighbors(v)]):
+                if label[w] < 0:
+                    label[w] = current
+                    stack.append(int(w))
+        current += 1
+    return label
+
+
+def largest_strongly_connected_component(
+    graph: StaticGraph,
+) -> tuple[StaticGraph, np.ndarray]:
+    """Restrict to the largest SCC (Tarjan, iterative).
+
+    Returns the induced subgraph and the array of original vertex IDs it
+    keeps (index in the subgraph -> original ID).  Road-network inputs
+    occasionally include unreachable fragments; PHAST and CH assume they
+    have been stripped.
+    """
+    n = graph.n
+    if n == 0:
+        return graph, np.zeros(0, dtype=np.int64)
+
+    index = np.full(n, -1, dtype=np.int64)
+    low = np.zeros(n, dtype=np.int64)
+    on_stack = np.zeros(n, dtype=bool)
+    comp = np.full(n, -1, dtype=np.int64)
+    stack: list[int] = []
+    counter = 0
+    n_comps = 0
+
+    for root in range(n):
+        if index[root] >= 0:
+            continue
+        # Explicit DFS state machine: (vertex, next-arc-offset).
+        work = [(root, 0)]
+        while work:
+            v, ai = work[-1]
+            if ai == 0:
+                index[v] = low[v] = counter
+                counter += 1
+                stack.append(v)
+                on_stack[v] = True
+            nbrs = graph.neighbors(v)
+            advanced = False
+            while ai < nbrs.size:
+                w = int(nbrs[ai])
+                ai += 1
+                if index[w] < 0:
+                    work[-1] = (v, ai)
+                    work.append((w, 0))
+                    advanced = True
+                    break
+                if on_stack[w]:
+                    low[v] = min(low[v], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if low[v] == index[v]:
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    comp[w] = n_comps
+                    if w == v:
+                        break
+                n_comps += 1
+            if work:
+                u, _ = work[-1]
+                low[u] = min(low[u], low[v])
+
+    sizes = np.bincount(comp, minlength=n_comps)
+    big = int(sizes.argmax())
+    keep_ids = np.flatnonzero(comp == big).astype(np.int64)
+    new_of_old = np.full(n, -1, dtype=np.int64)
+    new_of_old[keep_ids] = np.arange(keep_ids.size, dtype=np.int64)
+
+    tails = graph.arc_tails()
+    mask = (comp[tails] == big) & (comp[graph.arc_head] == big)
+    sub = StaticGraph(
+        keep_ids.size,
+        new_of_old[tails[mask]],
+        new_of_old[graph.arc_head[mask]],
+        graph.arc_len[mask],
+    )
+    return sub, keep_ids

@@ -1,0 +1,17 @@
+"""Addressable priority queues for label-setting shortest-path search."""
+
+from .base import PriorityQueue
+from .binary_heap import BinaryHeap
+from .dial import DialQueue
+from .fibonacci import FibonacciHeap
+from .kheap import KHeap
+from .multilevel_bucket import MultiLevelBucketQueue
+
+__all__ = [
+    "PriorityQueue",
+    "BinaryHeap",
+    "KHeap",
+    "DialQueue",
+    "FibonacciHeap",
+    "MultiLevelBucketQueue",
+]

@@ -1,0 +1,55 @@
+"""Common interface for the addressable priority queues used by Dijkstra.
+
+All queues store integer items (vertex IDs in ``0 .. n - 1``) with
+integer keys (tentative distances).  Dijkstra's algorithm needs three
+operations — insert, decrease-key and extract-min — plus emptiness.  The
+monotone variants (:class:`~repro.pq.dial.DialQueue`,
+:class:`~repro.pq.multilevel_bucket.MultiLevelBucketQueue`) additionally
+require that keys passed to ``insert``/``decrease_key`` never fall below
+the last extracted minimum, which Dijkstra guarantees for non-negative
+lengths.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+__all__ = ["PriorityQueue"]
+
+
+class PriorityQueue(ABC):
+    """Abstract addressable min-queue over items ``0 .. n - 1``."""
+
+    @abstractmethod
+    def insert(self, item: int, key: int) -> None:
+        """Add ``item`` with priority ``key``; item must not be present."""
+
+    @abstractmethod
+    def decrease_key(self, item: int, key: int) -> None:
+        """Lower the priority of a present ``item`` to ``key``."""
+
+    @abstractmethod
+    def pop_min(self) -> tuple[int, int]:
+        """Remove and return ``(item, key)`` with the smallest key."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of items currently queued."""
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def push_or_decrease(self, item: int, key: int) -> None:
+        """Insert ``item`` or decrease its key, whichever applies.
+
+        Convenience used by Dijkstra implementations; subclasses may
+        override with a faster combined path.
+        """
+        if self.contains(item):
+            self.decrease_key(item, key)
+        else:
+            self.insert(item, key)
+
+    @abstractmethod
+    def contains(self, item: int) -> bool:
+        """True if ``item`` is currently queued."""

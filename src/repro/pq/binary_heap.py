@@ -1,0 +1,123 @@
+"""Addressable binary heap.
+
+The paper's CH queries use a binary heap because the queue stays tiny
+(hundreds of entries); Table I also evaluates Dijkstra with one.  This
+is the textbook array heap with a position index enabling true
+decrease-key (sift-up from the item's slot).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import PriorityQueue
+
+__all__ = ["BinaryHeap"]
+
+
+class BinaryHeap(PriorityQueue):
+    """Binary min-heap addressable by item ID.
+
+    Parameters
+    ----------
+    n:
+        Item IDs range over ``0 .. n - 1``.
+    """
+
+    def __init__(self, n: int) -> None:
+        self.n = int(n)
+        self._items: list[int] = []
+        self._key = np.zeros(n, dtype=np.int64)
+        self._pos = np.full(n, -1, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def contains(self, item: int) -> bool:
+        return self._pos[item] >= 0
+
+    def key_of(self, item: int) -> int:
+        """Current key of a queued item."""
+        if self._pos[item] < 0:
+            raise KeyError(f"item {item} not in heap")
+        return int(self._key[item])
+
+    def clear(self) -> None:
+        """Empty the heap in O(size) without reallocating."""
+        for v in self._items:
+            self._pos[v] = -1
+        self._items.clear()
+
+    # -- internals ------------------------------------------------------
+
+    def _swap(self, i: int, j: int) -> None:
+        items = self._items
+        items[i], items[j] = items[j], items[i]
+        self._pos[items[i]] = i
+        self._pos[items[j]] = j
+
+    def _sift_up(self, i: int) -> None:
+        items, key = self._items, self._key
+        while i > 0:
+            parent = (i - 1) >> 1
+            if key[items[i]] < key[items[parent]]:
+                self._swap(i, parent)
+                i = parent
+            else:
+                break
+
+    def _sift_down(self, i: int) -> None:
+        items, key = self._items, self._key
+        size = len(items)
+        while True:
+            left = 2 * i + 1
+            if left >= size:
+                return
+            smallest = left
+            right = left + 1
+            if right < size and key[items[right]] < key[items[left]]:
+                smallest = right
+            if key[items[smallest]] < key[items[i]]:
+                self._swap(i, smallest)
+                i = smallest
+            else:
+                return
+
+    # -- queue operations -------------------------------------------------
+
+    def insert(self, item: int, key: int) -> None:
+        if self._pos[item] >= 0:
+            raise ValueError(f"item {item} already in heap")
+        self._key[item] = key
+        self._pos[item] = len(self._items)
+        self._items.append(int(item))
+        self._sift_up(len(self._items) - 1)
+
+    def decrease_key(self, item: int, key: int) -> None:
+        pos = int(self._pos[item])
+        if pos < 0:
+            raise KeyError(f"item {item} not in heap")
+        if key > self._key[item]:
+            raise ValueError("decrease_key would increase the key")
+        self._key[item] = key
+        self._sift_up(pos)
+
+    def peek_min(self) -> tuple[int, int]:
+        """Return ``(item, key)`` with the smallest key without removal."""
+        if not self._items:
+            raise IndexError("peek at empty heap")
+        top = self._items[0]
+        return int(top), int(self._key[top])
+
+    def pop_min(self) -> tuple[int, int]:
+        if not self._items:
+            raise IndexError("pop from empty heap")
+        top = self._items[0]
+        key = int(self._key[top])
+        last = self._items.pop()
+        self._pos[top] = -1
+        if self._items:
+            self._items[0] = last
+            self._pos[last] = 0
+            self._sift_down(0)
+        return int(top), key

@@ -1,0 +1,102 @@
+"""Dial's bucket queue.
+
+Dial's implementation [20] of Dijkstra's algorithm keeps one bucket per
+distance value in a circular array of ``C + 1`` buckets, where ``C`` is
+the maximum arc length: under Dijkstra's monotone key sequence, all live
+keys lie in ``[min, min + C]``, so the bucket index ``key mod (C + 1)``
+is unambiguous.  Extract-min advances a cursor around the circle.
+
+Decrease-key uses lazy deletion — the item is appended to its new
+bucket, and stale copies are skipped at pop time by comparing against
+the authoritative key array.  This keeps every operation O(1) amortized
+plus the cursor's total O(nC) walk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import PriorityQueue
+
+__all__ = ["DialQueue"]
+
+
+class DialQueue(PriorityQueue):
+    """Single-level bucket queue for monotone integer keys.
+
+    Parameters
+    ----------
+    n:
+        Item IDs range over ``0 .. n - 1``.
+    max_arc_len:
+        Upper bound ``C`` on the difference between any inserted key and
+        the current minimum (for Dijkstra: the maximum arc length).
+    """
+
+    def __init__(self, n: int, max_arc_len: int) -> None:
+        if max_arc_len < 0:
+            raise ValueError("max_arc_len must be non-negative")
+        self.n = int(n)
+        self.span = int(max_arc_len) + 1
+        self._buckets: list[list[int]] = [[] for _ in range(self.span)]
+        self._key = np.zeros(n, dtype=np.int64)
+        self._in = np.zeros(n, dtype=bool)
+        self._cursor_key = 0  # all live keys are >= this
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def contains(self, item: int) -> bool:
+        return bool(self._in[item])
+
+    def key_of(self, item: int) -> int:
+        """Current key of a queued item."""
+        if not self._in[item]:
+            raise KeyError(f"item {item} not in queue")
+        return int(self._key[item])
+
+    def _check_key(self, key: int) -> None:
+        if key < self._cursor_key:
+            raise ValueError(
+                f"key {key} below current minimum {self._cursor_key}; "
+                "DialQueue requires monotone keys"
+            )
+        if key - self._cursor_key >= self.span:
+            raise ValueError(
+                f"key {key} exceeds current minimum + C "
+                f"({self._cursor_key} + {self.span - 1})"
+            )
+
+    def insert(self, item: int, key: int) -> None:
+        if self._in[item]:
+            raise ValueError(f"item {item} already in queue")
+        self._check_key(key)
+        self._key[item] = key
+        self._in[item] = True
+        self._buckets[key % self.span].append(int(item))
+        self._size += 1
+
+    def decrease_key(self, item: int, key: int) -> None:
+        if not self._in[item]:
+            raise KeyError(f"item {item} not in queue")
+        if key > self._key[item]:
+            raise ValueError("decrease_key would increase the key")
+        self._check_key(key)
+        # Lazy: old copy stays in its bucket and is skipped at pop time.
+        self._key[item] = key
+        self._buckets[key % self.span].append(int(item))
+
+    def pop_min(self) -> tuple[int, int]:
+        if self._size == 0:
+            raise IndexError("pop from empty queue")
+        while True:
+            bucket = self._buckets[self._cursor_key % self.span]
+            while bucket:
+                item = bucket.pop()
+                if self._in[item] and self._key[item] == self._cursor_key:
+                    self._in[item] = False
+                    self._size -= 1
+                    return item, self._cursor_key
+                # stale copy (decreased away or already popped) — skip
+            self._cursor_key += 1

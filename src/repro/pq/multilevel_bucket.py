@@ -1,0 +1,188 @@
+"""Multi-level bucket queue (the "smart queue" family).
+
+Multi-level buckets [21] generalize Dial's structure: keys are viewed as
+``L``-digit numbers in base ``b`` (a power of two), and an item whose
+key first differs from the current minimum ``mu`` at digit position
+``i`` lives in bucket ``(i, digit_i(key))``.  Extract-min takes items
+directly from level 0; when the lowest non-empty level is ``i > 0``,
+the minimum bucket at that level is *expanded*: ``mu`` becomes the
+bucket's minimum key and its contents are redistributed into levels
+``< i``.  Each item can only move downward, so the total redistribution
+work is O(n·L), giving the O(m + n·log C) bound the paper quotes for
+smart queues.  (The caliber heuristic of [3], which lets some vertices
+bypass the queue entirely, is orthogonal and omitted; it does not change
+the worst-case bound.)
+
+Decrease-key is lazy: the item is re-filed under its new key and stale
+copies are discarded when encountered.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import PriorityQueue
+
+__all__ = ["MultiLevelBucketQueue"]
+
+
+class MultiLevelBucketQueue(PriorityQueue):
+    """Multi-level bucket min-queue for monotone integer keys.
+
+    Parameters
+    ----------
+    n:
+        Item IDs range over ``0 .. n - 1``.
+    max_key:
+        Upper bound on any key ever inserted (for Dijkstra: an upper
+        bound on the largest finite distance, e.g. ``n * C``).
+    base:
+        Bucket fan-out per level; must be a power of two.  The paper's
+        smart queue uses a small number of wide levels; 64 is a good
+        default.
+    """
+
+    def __init__(self, n: int, max_key: int, base: int = 64) -> None:
+        if max_key < 0:
+            raise ValueError("max_key must be non-negative")
+        if base < 2 or base & (base - 1):
+            raise ValueError("base must be a power of two >= 2")
+        self.n = int(n)
+        self.base = int(base)
+        self._shift = base.bit_length() - 1
+        self._mask = base - 1
+        bits = max(1, int(max_key).bit_length())
+        self.levels = -(-bits // self._shift)  # ceil division
+        self.max_key = int(max_key)
+        self._buckets: list[list[list[int]]] = [
+            [[] for _ in range(base)] for _ in range(self.levels)
+        ]
+        self._level_count = [0] * self.levels  # entries incl. stale copies
+        self._key = np.zeros(n, dtype=np.int64)
+        self._in = np.zeros(n, dtype=bool)
+        self._mu = 0  # last extracted minimum
+        self._size = 0  # live items
+
+    def __len__(self) -> int:
+        return self._size
+
+    def contains(self, item: int) -> bool:
+        return bool(self._in[item])
+
+    def key_of(self, item: int) -> int:
+        """Current key of a queued item."""
+        if not self._in[item]:
+            raise KeyError(f"item {item} not in queue")
+        return int(self._key[item])
+
+    def _digit(self, key: int, level: int) -> int:
+        return (key >> (level * self._shift)) & self._mask
+
+    def _position(self, key: int) -> tuple[int, int]:
+        """Bucket coordinates of ``key`` relative to the current ``mu``."""
+        diff = key ^ self._mu
+        if diff == 0:
+            return 0, self._digit(key, 0)
+        level = (diff.bit_length() - 1) // self._shift
+        return level, self._digit(key, level)
+
+    def _file(self, item: int, key: int) -> None:
+        level, digit = self._position(key)
+        self._buckets[level][digit].append(item)
+        self._level_count[level] += 1
+
+    def insert(self, item: int, key: int) -> None:
+        if self._in[item]:
+            raise ValueError(f"item {item} already in queue")
+        if key < self._mu:
+            raise ValueError(
+                f"key {key} below current minimum {self._mu}; "
+                "multi-level buckets require monotone keys"
+            )
+        if key > self.max_key:
+            raise ValueError(f"key {key} exceeds max_key {self.max_key}")
+        self._key[item] = key
+        self._in[item] = True
+        self._file(int(item), key)
+        self._size += 1
+
+    def decrease_key(self, item: int, key: int) -> None:
+        if not self._in[item]:
+            raise KeyError(f"item {item} not in queue")
+        if key > self._key[item]:
+            raise ValueError("decrease_key would increase the key")
+        if key < self._mu:
+            raise ValueError(f"key {key} below current minimum {self._mu}")
+        # Lazy: the old copy is discarded when encountered.
+        self._key[item] = key
+        self._file(int(item), key)
+
+    def _is_live(self, item: int, level: int, digit: int) -> bool:
+        """True if this bucket copy is the item's current filing."""
+        if not self._in[item]:
+            return False
+        lvl, dig = self._position(int(self._key[item]))
+        return lvl == level and dig == digit
+
+    def pop_min(self) -> tuple[int, int]:
+        if self._size == 0:
+            raise IndexError("pop from empty queue")
+        while True:
+            # Lowest level holding any entry (possibly stale).
+            level = next(
+                (i for i in range(self.levels) if self._level_count[i] > 0), None
+            )
+            if level is None:  # only stale bookkeeping left; cannot happen
+                raise IndexError("queue invariant violated")  # pragma: no cover
+            row = self._buckets[level]
+            start = self._digit(self._mu, level) if level == 0 else 0
+            popped_something = False
+            for digit in range(start, self.base):
+                bucket = row[digit]
+                if not bucket:
+                    continue
+                if level == 0:
+                    # Level-0 buckets hold a single exact key; pop live.
+                    while bucket:
+                        item = bucket.pop()
+                        self._level_count[0] -= 1
+                        if self._is_live(item, 0, digit):
+                            self._in[item] = False
+                            self._size -= 1
+                            self._mu = int(self._key[item])
+                            return item, self._mu
+                    continue  # bucket was all stale; next digit
+                # Expand: find the live minimum of this bucket, advance
+                # mu to it, and refile the bucket's live contents into
+                # strictly lower levels.
+                live = []
+                while bucket:
+                    item = bucket.pop()
+                    self._level_count[level] -= 1
+                    if self._is_live(item, level, digit):
+                        live.append(item)
+                if not live:
+                    continue
+                self._mu = int(min(self._key[i] for i in live))
+                for item in live:
+                    self._file(item, int(self._key[item]))
+                popped_something = True
+                break
+            if popped_something:
+                continue
+            if level == 0 and start > 0:
+                # All level-0 entries at digits < start are stale relics
+                # from before mu advanced past them; purge and retry.
+                for digit in range(0, start):
+                    bucket = row[digit]
+                    while bucket:
+                        item = bucket.pop()
+                        self._level_count[0] -= 1
+                        if self._is_live(item, 0, digit):
+                            # Live item filed below mu's digit can only
+                            # happen if keys were non-monotone.
+                            raise AssertionError(
+                                "live item below current minimum"
+                            )  # pragma: no cover
+            # Otherwise the scanned level contained only stale copies,
+            # all of which were just discarded; re-scan from the top.

@@ -1,0 +1,53 @@
+"""Hardware models: caches, machines, GPUs, cost and energy models."""
+
+from .cache import CacheHierarchy, CacheLevel, CacheStats, nehalem_hierarchy
+from .cost_model import (
+    Calibration,
+    CostModel,
+    WorkloadCounts,
+    dijkstra_counts,
+    phast_counts,
+)
+from .energy import EnergyReport, apsp_report, energy_per_tree
+from .gpu import GTX_480, GTX_580, GpuCostModel, GpuSpec, GpuSweepReport
+from .gpu_functional import GpuFunctionalSim, KernelStats, SimReport, WarpStats
+from .machine import MACHINES, MachineSpec, machine
+from .numa import NumaTopology, ThreadStream, waterfill
+from .trace import (
+    dijkstra_trace,
+    phast_sweep_trace,
+    sequential_lower_bound_trace,
+)
+
+__all__ = [
+    "CacheHierarchy",
+    "CacheLevel",
+    "CacheStats",
+    "nehalem_hierarchy",
+    "Calibration",
+    "CostModel",
+    "WorkloadCounts",
+    "dijkstra_counts",
+    "phast_counts",
+    "EnergyReport",
+    "apsp_report",
+    "energy_per_tree",
+    "GpuSpec",
+    "GpuCostModel",
+    "GpuSweepReport",
+    "GTX_580",
+    "GTX_480",
+    "GpuFunctionalSim",
+    "KernelStats",
+    "SimReport",
+    "WarpStats",
+    "MachineSpec",
+    "MACHINES",
+    "machine",
+    "NumaTopology",
+    "ThreadStream",
+    "waterfill",
+    "dijkstra_trace",
+    "phast_sweep_trace",
+    "sequential_lower_bound_trace",
+]

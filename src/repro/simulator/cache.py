@@ -1,0 +1,167 @@
+"""Trace-driven set-associative cache simulator.
+
+The paper's Table I hinges on locality: the same algorithm is up to 7.5x
+faster when vertex IDs follow a cache-friendly layout.  Pure-Python
+timings cannot exhibit hardware cache behaviour faithfully, so layout
+experiments additionally run the algorithms' *address traces* through
+this simulator and report hit/miss counts per level, which the cost
+model converts to time.
+
+The model is a standard inclusive hierarchy of set-associative LRU
+caches in front of DRAM.  Addresses are byte addresses; each access
+touches one cache line (accesses never straddle lines in our traces
+because all words are 4 or 8 bytes and aligned).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CacheLevel", "CacheHierarchy", "CacheStats", "nehalem_hierarchy"]
+
+
+@dataclass
+class CacheStats:
+    """Access counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class CacheLevel:
+    """One set-associative LRU cache.
+
+    Parameters
+    ----------
+    size_bytes, line_bytes, associativity:
+        Geometry; ``size_bytes`` must be divisible by
+        ``line_bytes * associativity``.
+    name:
+        Label used in reports ("L1", "L2", ...).
+    latency_cycles:
+        Hit latency, consumed by the cost model.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        line_bytes: int,
+        associativity: int,
+        latency_cycles: int,
+    ) -> None:
+        if size_bytes % (line_bytes * associativity):
+            raise ValueError("cache size not divisible by way size")
+        self.name = name
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.latency_cycles = latency_cycles
+        self.num_sets = size_bytes // (line_bytes * associativity)
+        # Each set is an ordered list of tags, most recent last.
+        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    def access(self, addr: int) -> bool:
+        """Touch the line containing ``addr``; returns True on hit."""
+        line = addr // self.line_bytes
+        s = self._sets[line % self.num_sets]
+        tag = line // self.num_sets
+        try:
+            s.remove(tag)
+            s.append(tag)
+            self.stats.hits += 1
+            return True
+        except ValueError:
+            self.stats.misses += 1
+            s.append(tag)
+            if len(s) > self.associativity:
+                s.pop(0)
+            return False
+
+    def reset(self) -> None:
+        self._sets = [[] for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+
+@dataclass
+class CacheHierarchy:
+    """A stack of cache levels in front of DRAM.
+
+    ``access`` walks levels until a hit; a miss at the last level is a
+    DRAM access.  ``dram_accesses`` counts lines fetched from memory —
+    multiply by the line size for DRAM traffic.
+    """
+
+    levels: list[CacheLevel]
+    dram_accesses: int = 0
+    total_accesses: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def access(self, addr: int) -> str:
+        """Touch ``addr``; returns the name of the level that hit
+        (``"DRAM"`` if none)."""
+        self.total_accesses += 1
+        hit_at = "DRAM"
+        for level in self.levels:
+            if level.access(addr):
+                hit_at = level.name
+                break
+        else:
+            self.dram_accesses += 1
+        return hit_at
+
+    def access_array(self, addrs: np.ndarray) -> None:
+        """Feed a whole address trace through the hierarchy."""
+        for a in addrs:
+            self.access(int(a))
+
+    def reset(self) -> None:
+        for level in self.levels:
+            level.reset()
+        self.dram_accesses = 0
+        self.total_accesses = 0
+
+    def report(self) -> dict[str, float]:
+        """Per-level miss rates plus DRAM line count."""
+        out: dict[str, float] = {}
+        for level in self.levels:
+            out[f"{level.name}_miss_rate"] = level.stats.miss_rate
+            out[f"{level.name}_misses"] = float(level.stats.misses)
+        out["dram_accesses"] = float(self.dram_accesses)
+        out["total_accesses"] = float(self.total_accesses)
+        return out
+
+
+def nehalem_hierarchy(scale: float = 1.0) -> CacheHierarchy:
+    """Cache hierarchy of the benchmark machine M1-4 (Core i7-920).
+
+    32 KB L1D / 256 KB L2 per core, 8 MB shared L3, 64-byte lines.
+    ``scale`` shrinks capacities proportionally — traces in this
+    reproduction come from graphs scaled down from the paper's 18M
+    vertices, and shrinking the caches by the same factor preserves the
+    capacity-miss behaviour the experiment is about.
+    """
+
+    def sz(bytes_: int, assoc: int) -> int:
+        way = 64 * assoc
+        scaled = int(bytes_ * scale)
+        # Round to a whole number of sets, keeping at least 4.
+        return max(scaled // way, 4) * way
+
+    return CacheHierarchy(
+        levels=[
+            CacheLevel("L1", sz(32 * 1024, 8), 64, 8, latency_cycles=4),
+            CacheLevel("L2", sz(256 * 1024, 8), 64, 8, latency_cycles=10),
+            CacheLevel("L3", sz(8 * 1024 * 1024, 16), 64, 16, latency_cycles=40),
+        ]
+    )

@@ -1,0 +1,57 @@
+"""Energy accounting (Table VI, Section VIII-F).
+
+The paper measures wall power of each system under full load and
+reports joules per tree and megajoules for all-pairs shortest paths.
+Energy here is simply ``watts × modeled time``, using the paper's
+published wattages (stored on the machine / GPU specs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EnergyReport", "energy_per_tree", "apsp_report"]
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Per-tree and n-tree cost of one (algorithm, device) pairing."""
+
+    device: str
+    per_tree_ms: float
+    per_tree_joules: float
+    n_trees: int
+    total_seconds: float
+    total_megajoules: float
+
+    @property
+    def total_dhm(self) -> str:
+        """Total time formatted as the paper's ``d:hh:mm``."""
+        minutes = int(round(self.total_seconds / 60))
+        days, rem = divmod(minutes, 24 * 60)
+        hours, mins = divmod(rem, 60)
+        return f"{days}:{hours:02d}:{mins:02d}"
+
+
+def energy_per_tree(per_tree_ms: float, watts: float) -> float:
+    """Joules consumed by one tree computation."""
+    return per_tree_ms / 1e3 * watts
+
+
+def apsp_report(
+    device: str, per_tree_ms: float, watts: float | None, n: int
+) -> EnergyReport:
+    """All-pairs (n-tree) time and energy for one configuration."""
+    total_seconds = per_tree_ms / 1e3 * n
+    joules = energy_per_tree(per_tree_ms, watts) if watts else float("nan")
+    total_mj = (
+        joules * n / 1e6 if watts else float("nan")
+    )
+    return EnergyReport(
+        device=device,
+        per_tree_ms=per_tree_ms,
+        per_tree_joules=joules,
+        n_trees=n,
+        total_seconds=total_seconds,
+        total_megajoules=total_mj,
+    )

@@ -1,0 +1,200 @@
+"""GPU execution model (Section VI).
+
+No CUDA device exists in this environment, so GPHAST runs its numeric
+sweep on the CPU while this model charges what the same schedule would
+cost on the paper's cards: one kernel launch per CH level, one thread
+per (vertex, tree) pair, DRAM traffic accounted at transaction
+granularity with the coalescing rules of Section VI (label vectors of
+``k`` 32-bit entries per vertex are contiguous, so larger ``k`` wastes
+less of each transaction; arc records are fetched once per vertex and
+shared by the ``k`` lanes of a warp).
+
+Per level the model takes ``launch + max(memory, compute)``: memory is
+bytes over bandwidth, compute is instruction count over aggregate core
+throughput.  The two dominate at opposite ends of the ``k`` sweep,
+reproducing Table III's shape: per-tree time falls steeply from
+``k = 1`` and flattens past ``k = 8``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GpuSpec", "GTX_580", "GTX_480", "GpuCostModel", "GpuSweepReport"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Data-sheet numbers for one CUDA device (paper's cards).
+
+    ``transaction_bytes`` is the effective DRAM transaction granularity
+    for scattered reads — 16 bytes calibrates Fermi's 32-byte L2
+    sectors with the modest hit rate the on-chip cache achieves on this
+    access pattern (the paper: data reuse is too low for shared memory
+    to help, but the cache is not useless either).
+    """
+
+    name: str
+    sms: int
+    cores_per_sm: int
+    warp_size: int
+    core_clock_mhz: float
+    mem_clock_mhz: float
+    mem_bandwidth_gbs: float
+    mem_gb: float
+    kernel_launch_us: float = 4.0
+    transaction_bytes: int = 16
+    instr_per_relaxation: float = 20.0
+    instr_per_label_write: float = 8.0
+    watts_full_system: float | None = None
+
+
+#: The paper's primary card (Section VI / Table III).
+GTX_580 = GpuSpec(
+    name="GTX 580",
+    sms=16,
+    cores_per_sm=32,
+    warp_size=32,
+    core_clock_mhz=772.0,
+    mem_clock_mhz=2004.0,
+    mem_bandwidth_gbs=192.4,
+    mem_gb=1.5,
+    watts_full_system=375.0,
+)
+
+#: Its predecessor, evaluated in Table VI.
+GTX_480 = GpuSpec(
+    name="GTX 480",
+    sms=15,
+    cores_per_sm=32,
+    warp_size=32,
+    core_clock_mhz=701.0,
+    mem_clock_mhz=1848.0,
+    mem_bandwidth_gbs=177.4,
+    mem_gb=1.5,
+    watts_full_system=390.0,
+)
+
+LABEL_BYTES = 4
+ARC_BYTES = 8
+FIRST_BYTES = 4
+
+
+@dataclass
+class GpuSweepReport:
+    """Modeled cost of one GPHAST sweep computing ``k`` trees.
+
+    Attributes
+    ----------
+    total_ms:
+        Modeled wall time of the sweep (CH searches excluded — the
+    paper measures them at < 0.05 ms each on the CPU).
+    per_tree_ms:
+        ``total_ms / k``.
+    memory_mb:
+        Device memory held: graph + k distance-label arrays.
+    launch_ms, memory_ms, compute_ms:
+        Breakdown across all levels.
+    kernels:
+        Number of kernel launches (= number of levels).
+    fits_in_memory:
+        Whether ``memory_mb`` fits the card.
+    """
+
+    gpu: str
+    k: int
+    total_ms: float
+    per_tree_ms: float
+    memory_mb: float
+    launch_ms: float
+    memory_ms: float
+    compute_ms: float
+    kernels: int
+    fits_in_memory: bool
+
+
+class GpuCostModel:
+    """Charges a level-synchronous sweep schedule to a :class:`GpuSpec`."""
+
+    def __init__(self, spec: GpuSpec) -> None:
+        self.spec = spec
+
+    def device_memory_mb(self, n: int, m: int, k: int) -> float:
+        """Graph arrays plus ``k`` label arrays, in MiB (binary MB, as
+        graphics-card capacities are quoted)."""
+        graph_bytes = (n + 1) * FIRST_BYTES + m * ARC_BYTES + n * FIRST_BYTES
+        label_bytes = k * n * LABEL_BYTES
+        return (graph_bytes + label_bytes) / 2**20
+
+    def _level_cost_ms(
+        self, verts: int, arcs: int, k: int
+    ) -> tuple[float, float, float]:
+        """(launch, memory, compute) ms for one level's kernel."""
+        s = self.spec
+        launch = s.kernel_launch_us / 1e3
+        # Coalesced traffic: arc records once per vertex-neighbourhood,
+        # label writes k-wide and contiguous.  The tail-label gather
+        # moves whole transactions; k lanes of 4 bytes use
+        # min(k*4, transaction) ... rounded up to transaction multiples.
+        gather_bytes = max(s.transaction_bytes, k * LABEL_BYTES)
+        bytes_total = (
+            arcs * (ARC_BYTES + gather_bytes)
+            + verts * (FIRST_BYTES + k * LABEL_BYTES)
+        )
+        memory = bytes_total / (s.mem_bandwidth_gbs * 1e9) * 1e3
+        instructions = (
+            arcs * k * s.instr_per_relaxation
+            + verts * k * s.instr_per_label_write
+        )
+        throughput = s.sms * s.cores_per_sm * s.core_clock_mhz * 1e6
+        compute = instructions / throughput * 1e3
+        return launch, memory, compute
+
+    def sweep_cost(
+        self,
+        level_vertex_counts: np.ndarray,
+        level_arc_counts: np.ndarray,
+        k: int = 1,
+        *,
+        n: int | None = None,
+        m: int | None = None,
+    ) -> GpuSweepReport:
+        """Model one sweep over the given per-level sizes.
+
+        Parameters
+        ----------
+        level_vertex_counts, level_arc_counts:
+            Vertices and incoming arcs per scanned level (any order).
+        k:
+            Trees per sweep.
+        n, m:
+            Totals for the memory report (default: sums of the counts).
+        """
+        level_vertex_counts = np.asarray(level_vertex_counts)
+        level_arc_counts = np.asarray(level_arc_counts)
+        if level_vertex_counts.shape != level_arc_counts.shape:
+            raise ValueError("per-level count arrays must align")
+        launch = memory = compute = total = 0.0
+        for verts, arcs in zip(level_vertex_counts, level_arc_counts):
+            l, mem, comp = self._level_cost_ms(int(verts), int(arcs), k)
+            launch += l
+            memory += mem
+            compute += comp
+            total += l + max(mem, comp)
+        n = int(level_vertex_counts.sum()) if n is None else n
+        m = int(level_arc_counts.sum()) if m is None else m
+        mem_mb = self.device_memory_mb(n, m, k)
+        return GpuSweepReport(
+            gpu=self.spec.name,
+            k=k,
+            total_ms=total,
+            per_tree_ms=total / max(1, k),
+            memory_mb=mem_mb,
+            launch_ms=launch,
+            memory_ms=memory,
+            compute_ms=compute,
+            kernels=int(level_vertex_counts.size),
+            fits_in_memory=mem_mb <= self.spec.mem_gb * 1024,
+        )

@@ -1,0 +1,156 @@
+"""Machine catalog (the paper's Table IV).
+
+The evaluation spans five CPU machines plus a GPU-equipped workstation.
+Since this reproduction cannot run on that hardware, the specs are data:
+the cost model (:mod:`repro.simulator.cost_model`) combines them with
+algorithm operation counts to predict per-tree running times, and the
+energy model multiplies by the paper's measured full-load wattages
+(Section VIII-F).
+
+Naming convention (from the paper): ``M<sockets>-<cores per socket>``.
+Where the extracted paper text lost exact cell values, specs follow the
+named parts' published data sheets; the load-bearing figures for the
+model — per-core clock, core counts, NUMA node counts, and per-node
+memory bandwidth — are the ones the paper's analysis itself quotes
+(e.g. 32 GB/s for the Xeon, 8 NUMA nodes for M4-12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineSpec", "MACHINES", "machine"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One row of Table IV plus the wattage of Section VIII-F.
+
+    Attributes
+    ----------
+    name:
+        Paper's machine ID (e.g. ``"M1-4"``).
+    brand, cpu:
+        Vendor and CPU model.
+    clock_ghz:
+        Per-core clock.
+    sockets:
+        Column ``P`` — CPU packages.
+    cores:
+        Column ``c`` — total physical cores.
+    mem_type:
+        DRAM generation.
+    mem_gb:
+        Installed memory.
+    mem_clock_mhz:
+        DRAM clock.
+    bandwidth_gbs:
+        Theoretical bandwidth from one core's local memory bank.
+    numa_nodes:
+        Column ``B`` — local memory banks.
+    watts_full_load:
+        Wall power under full load (None where the paper gives none).
+    """
+
+    name: str
+    brand: str
+    cpu: str
+    clock_ghz: float
+    sockets: int
+    cores: int
+    mem_type: str
+    mem_gb: int
+    mem_clock_mhz: int
+    bandwidth_gbs: float
+    numa_nodes: int
+    watts_full_load: float | None = None
+
+
+MACHINES: dict[str, MachineSpec] = {
+    m.name: m
+    for m in [
+        # ~5-year-old 2-socket single-core Opteron server.
+        MachineSpec(
+            name="M2-1",
+            brand="AMD",
+            cpu="Opteron 250",
+            clock_ghz=2.4,
+            sockets=2,
+            cores=2,
+            mem_type="DDR",
+            mem_gb=8,
+            mem_clock_mhz=333,
+            bandwidth_gbs=5.3,
+            numa_nodes=2,
+        ),
+        # ~3-year-old 2-socket quad-core Opteron server.
+        MachineSpec(
+            name="M2-4",
+            brand="AMD",
+            cpu="Opteron 2350",
+            clock_ghz=2.0,
+            sockets=2,
+            cores=8,
+            mem_type="DDR2",
+            mem_gb=16,
+            mem_clock_mhz=667,
+            bandwidth_gbs=10.7,
+            numa_nodes=2,
+        ),
+        # 4-socket 12-core Magny-Cours: 48 cores, 8 NUMA nodes.
+        MachineSpec(
+            name="M4-12",
+            brand="AMD",
+            cpu="Opteron 6168",
+            clock_ghz=1.9,
+            sockets=4,
+            cores=48,
+            mem_type="DDR3",
+            mem_gb=128,
+            mem_clock_mhz=1333,
+            bandwidth_gbs=21.3,
+            numa_nodes=8,
+            watts_full_load=747.0,
+        ),
+        # The default benchmark workstation (Section VIII-A).
+        MachineSpec(
+            name="M1-4",
+            brand="Intel",
+            cpu="Core-i7 920",
+            clock_ghz=2.67,
+            sockets=1,
+            cores=4,
+            mem_type="DDR3",
+            mem_gb=12,
+            mem_clock_mhz=1066,
+            bandwidth_gbs=25.6,
+            numa_nodes=1,
+            watts_full_load=163.0,
+        ),
+        # Modern 2-socket Westmere server; the paper quotes 32 GB/s.
+        MachineSpec(
+            name="M2-6",
+            brand="Intel",
+            cpu="Xeon X5680",
+            clock_ghz=3.33,
+            sockets=2,
+            cores=12,
+            mem_type="DDR3",
+            mem_gb=96,
+            mem_clock_mhz=1333,
+            bandwidth_gbs=32.0,
+            numa_nodes=2,
+            watts_full_load=332.0,
+        ),
+    ]
+}
+
+
+def machine(name: str) -> MachineSpec:
+    """Look up a machine by its paper ID (e.g. ``"M1-4"``)."""
+    try:
+        return MACHINES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {name!r}; known: {sorted(MACHINES)}"
+        ) from None

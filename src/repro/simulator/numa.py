@@ -1,0 +1,208 @@
+"""Explicit NUMA topology and bandwidth-allocation model.
+
+The closed-form :class:`~repro.simulator.cost_model.CostModel` folds
+NUMA effects into two scalars.  This module models the machine
+structurally — banks, cores, placements — and allocates bandwidth by
+waterfilling, so Table V's pinned/unpinned landscape can be *derived*
+from topology rather than assumed:
+
+* every core has a home bank (``cores_per_bank`` each);
+* a thread streams from the bank its *data* lives on; remote streams
+  (data bank ≠ home bank) cross the interconnect and are slowed by
+  ``remote_penalty`` (Section VIII-E's observation);
+* each bank's achievable bandwidth is shared by the threads streaming
+  from it: everyone gets an equal share, capped by the single-core
+  ceiling, with leftovers redistributed (max-min fairness).
+
+Pinning in the paper's sense does two things this model makes explicit:
+it replicates the graph into every bank (each thread's data is local)
+and it stops threads from migrating off their data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .machine import MachineSpec
+
+__all__ = ["NumaTopology", "ThreadStream", "waterfill"]
+
+
+@dataclass(frozen=True)
+class ThreadStream:
+    """One thread's streaming demand.
+
+    Attributes
+    ----------
+    home_bank:
+        Bank of the core the thread runs on.
+    data_bank:
+        Bank holding the data it streams.
+    """
+
+    home_bank: int
+    data_bank: int
+
+    @property
+    def remote(self) -> bool:
+        return self.home_bank != self.data_bank
+
+
+def waterfill(capacity: float, ceilings: list[float]) -> list[float]:
+    """Max-min fair allocation of ``capacity`` under per-user ceilings.
+
+    Classic waterfilling: repeatedly grant every unsatisfied user an
+    equal share of what remains; users whose ceiling is below the share
+    are capped and their surplus is redistributed.
+    """
+    n = len(ceilings)
+    if n == 0:
+        return []
+    alloc = [0.0] * n
+    remaining = capacity
+    open_users = list(range(n))
+    while open_users and remaining > 1e-12:
+        share = remaining / len(open_users)
+        capped = [i for i in open_users if ceilings[i] - alloc[i] <= share]
+        if not capped:
+            for i in open_users:
+                alloc[i] += share
+            remaining = 0.0
+            break
+        for i in capped:
+            remaining -= ceilings[i] - alloc[i]
+            alloc[i] = ceilings[i]
+        open_users = [i for i in open_users if i not in capped]
+    return alloc
+
+
+class NumaTopology:
+    """Banks, cores and achievable bandwidths of one machine.
+
+    Parameters
+    ----------
+    num_banks:
+        Local memory banks (Table IV column ``B``).
+    cores_per_bank:
+        Physical cores attached to each bank.
+    bank_bandwidth:
+        Achievable (not theoretical) bytes/s per bank.
+    single_core_bandwidth:
+        One core's streaming ceiling, bytes/s.
+    remote_penalty:
+        Slowdown of a stream that crosses the interconnect.
+    """
+
+    def __init__(
+        self,
+        num_banks: int,
+        cores_per_bank: int,
+        bank_bandwidth: float,
+        single_core_bandwidth: float,
+        remote_penalty: float = 2.2,
+    ) -> None:
+        if num_banks < 1 or cores_per_bank < 1:
+            raise ValueError("topology must have at least one bank and core")
+        self.num_banks = int(num_banks)
+        self.cores_per_bank = int(cores_per_bank)
+        self.bank_bandwidth = float(bank_bandwidth)
+        self.single_core_bandwidth = float(single_core_bandwidth)
+        self.remote_penalty = float(remote_penalty)
+
+    @classmethod
+    def from_machine(
+        cls,
+        spec: MachineSpec,
+        *,
+        aggregate_fraction: float = 0.345,
+        single_core_fraction: float = 0.25,
+        remote_penalty: float = 2.2,
+    ) -> "NumaTopology":
+        """Build from a Table IV row using the cost-model calibration."""
+        return cls(
+            num_banks=spec.numa_nodes,
+            cores_per_bank=max(1, spec.cores // spec.numa_nodes),
+            bank_bandwidth=spec.bandwidth_gbs * 1e9 * aggregate_fraction,
+            single_core_bandwidth=spec.bandwidth_gbs
+            * 1e9
+            * single_core_fraction,
+            remote_penalty=remote_penalty,
+        )
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_banks * self.cores_per_bank
+
+    # -- placements --------------------------------------------------------
+
+    def placement(self, threads: int, *, pinned: bool, seed: int = 0) -> list[ThreadStream]:
+        """Thread streams for the paper's two execution modes.
+
+        Pinned: threads fill banks round-robin and their data is
+        replicated locally.  Unpinned: the OS scatters threads while
+        all data sits in bank 0 (first-touch allocation by the main
+        thread), so most streams are remote.
+        """
+        threads = min(threads, self.total_cores)
+        if pinned:
+            return [
+                ThreadStream(home_bank=i % self.num_banks, data_bank=i % self.num_banks)
+                for i in range(threads)
+            ]
+        rng = np.random.default_rng(seed)
+        homes = rng.integers(0, self.num_banks, size=threads)
+        return [ThreadStream(home_bank=int(h), data_bank=0) for h in homes]
+
+    # -- allocation ----------------------------------------------------------
+
+    def allocate(self, streams: list[ThreadStream]) -> list[float]:
+        """Achieved bytes/s per stream (max-min fair within each bank).
+
+        Streams draw from their *data* bank.  A remote stream occupies
+        the bank (and interconnect) for ``remote_penalty`` units per
+        delivered byte — protocol overhead that both slows the remote
+        reader and shrinks what is left for everyone else.
+        """
+        out = [0.0] * len(streams)
+        for bank in range(self.num_banks):
+            users = [i for i, s in enumerate(streams) if s.data_bank == bank]
+            if not users:
+                continue
+            # Waterfill in *consumption* units; remote users deliver
+            # only 1/penalty of what they consume.
+            ceilings = [self.single_core_bandwidth for _ in users]
+            shares = waterfill(self.bank_bandwidth, ceilings)
+            for i, consumed in zip(users, shares):
+                penalty = self.remote_penalty if streams[i].remote else 1.0
+                out[i] = consumed / penalty
+        return out
+
+    def per_tree_ms(
+        self,
+        bytes_per_tree: float,
+        cpu_ms_per_tree: float,
+        threads: int,
+        *,
+        pinned: bool,
+    ) -> float:
+        """System-wide per-tree time for independent sweeping workers.
+
+        Each worker overlaps its scan loop with its stream (hardware
+        prefetch makes the sweep's sequential traffic asynchronous), so
+        a worker's period is the larger of the two; the system produces
+        one tree per ``1 / Σ 1/worker_period``.
+        """
+        streams = self.placement(threads, pinned=pinned)
+        if not streams:
+            return float("inf")
+        rates = self.allocate(streams)
+        worker_times = [
+            max(cpu_ms_per_tree, bytes_per_tree / rate * 1e3)
+            if rate > 0
+            else float("inf")
+            for rate in rates
+        ]
+        throughput = sum(1.0 / t for t in worker_times if t < float("inf"))
+        return 1.0 / throughput if throughput else float("inf")

@@ -1,0 +1,163 @@
+"""Address-trace generators for the cache simulator.
+
+Each generator lays the algorithm's data structures out in a flat byte
+address space exactly as Section IV-A describes — ``first`` array,
+packed ``arclist`` of (head ID, length) 8-byte records, and a distance
+array — then emits the sequence of byte addresses one tree computation
+touches.  Feeding the trace through
+:class:`~repro.simulator.cache.CacheHierarchy` yields the layout-
+dependent miss counts behind Table I.
+
+Labels are 4 bytes (the paper uses 32-bit distances), arc records
+8 bytes, ``first`` entries 4 bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.sweep import SweepStructure
+from ..graph.csr import StaticGraph
+
+__all__ = [
+    "LABEL_BYTES",
+    "ARC_BYTES",
+    "phast_sweep_trace",
+    "dijkstra_trace",
+    "sequential_lower_bound_trace",
+]
+
+LABEL_BYTES = 4
+ARC_BYTES = 8
+FIRST_BYTES = 4
+
+
+def _layout(n: int, m: int) -> tuple[int, int, int]:
+    """Base addresses of (first, arclist, dist), contiguous regions."""
+    first_base = 0
+    arc_base = first_base + (n + 1) * FIRST_BYTES
+    dist_base = arc_base + m * ARC_BYTES
+    return first_base, arc_base, dist_base
+
+
+def phast_sweep_trace(
+    sweep: SweepStructure, *, reorder: bool = True
+) -> np.ndarray:
+    """Addresses touched by one PHAST linear sweep.
+
+    Per vertex in scan order: its ``first`` entry, each incoming arc
+    record, the tail's distance label (the only potentially random
+    access), then the vertex's own label write.
+
+    With ``reorder=False`` the distance array is indexed by original
+    vertex ID (the "original ordering" row of Table I): arc records are
+    still scanned sequentially but label reads and writes scatter.
+    """
+    n, m = sweep.n, sweep.num_arcs
+    first_base, arc_base, dist_base = _layout(n, m)
+    counts = np.diff(sweep.arc_first)
+
+    if reorder:
+        # Arrays are physically laid out in sweep order: everything but
+        # the tail-label gathers is sequential.
+        tail_idx = sweep.arc_tail_pos
+        head_idx = np.arange(n, dtype=np.int64)
+        arc_pos = np.arange(m, dtype=np.int64)
+    else:
+        # "Original ordering": the scan still walks levels, but arrays
+        # are laid out by original vertex ID, so arc and label accesses
+        # jump around.
+        tail_idx = sweep.vertex_at[sweep.arc_tail_pos]
+        head_idx = sweep.vertex_at
+        head_orig = np.repeat(head_idx, counts)
+        orig_layout = np.argsort(head_orig, kind="stable")
+        arc_pos = np.empty(m, dtype=np.int64)
+        arc_pos[orig_layout] = np.arange(m, dtype=np.int64)
+
+    # Interleave per-vertex accesses: first[v], (arc, dist[tail])*, dist[v].
+    arc_addr = arc_base + arc_pos * ARC_BYTES
+    tail_addr = dist_base + tail_idx * LABEL_BYTES
+    arc_pair = np.empty(2 * m, dtype=np.int64)
+    arc_pair[0::2] = arc_addr
+    arc_pair[1::2] = tail_addr
+
+    first_addr = first_base + head_idx * FIRST_BYTES
+    write_addr = dist_base + head_idx * LABEL_BYTES
+
+    # Build the interleaved trace with one pass of index arithmetic:
+    # each vertex contributes 1 (first) + 2*deg (arc+label) + 1 (write).
+    per_vertex = 2 + 2 * counts
+    total = int(per_vertex.sum())
+    trace = np.empty(total, dtype=np.int64)
+    v_start = np.concatenate(([0], np.cumsum(per_vertex)[:-1]))
+    trace[v_start] = first_addr
+    trace[v_start + per_vertex - 1] = write_addr
+    # Scatter the arc/label pairs into the middles.
+    arc_out_start = v_start + 1
+    arc_slots = (
+        np.repeat(arc_out_start, 2 * counts)
+        + _within_group(2 * counts)
+    )
+    trace[arc_slots] = arc_pair
+    return trace
+
+
+def _within_group(counts: np.ndarray) -> np.ndarray:
+    """0,1,..,c0-1,0,1,..,c1-1,... for segment sizes ``counts``."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    return np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+
+
+def dijkstra_trace(graph: StaticGraph, scan_order: np.ndarray) -> np.ndarray:
+    """Addresses touched by one Dijkstra run over ``graph``.
+
+    ``scan_order`` is the settling order of an actual run (see
+    ``dijkstra(..., record_order=True)``).  Per scanned vertex: its
+    ``first`` entry, each outgoing arc record, and the head's label
+    (read-modify-write).  Priority-queue traffic is omitted — the
+    paper's bucket queues touch a few hot cache lines that never miss,
+    and modeling them would only add noise.
+    """
+    n, m = graph.n, graph.m
+    first_base, arc_base, dist_base = _layout(n, m)
+    scan_order = np.asarray(scan_order, dtype=np.int64)
+
+    starts = graph.first[scan_order]
+    counts = graph.first[scan_order + 1] - starts
+    total = int(counts.sum())
+    arc_idx = np.repeat(starts, counts) + _within_group(counts)
+    arc_addr = arc_base + arc_idx * ARC_BYTES
+    head_addr = dist_base + graph.arc_head[arc_idx] * LABEL_BYTES
+    arc_pair = np.empty(2 * total, dtype=np.int64)
+    arc_pair[0::2] = arc_addr
+    arc_pair[1::2] = head_addr
+
+    first_addr = first_base + scan_order * FIRST_BYTES
+    per_vertex = 1 + 2 * counts
+    out = np.empty(int(per_vertex.sum()), dtype=np.int64)
+    v_start = np.concatenate(([0], np.cumsum(per_vertex)[:-1]))
+    out[v_start] = first_addr
+    arc_slots = np.repeat(v_start + 1, 2 * counts) + _within_group(2 * counts)
+    out[arc_slots] = arc_pair
+    return out
+
+
+def sequential_lower_bound_trace(n: int, m: int) -> np.ndarray:
+    """The Section VIII-B lower-bound pass.
+
+    Sequentially read ``first``, the arc list and the distance array,
+    then write every distance entry — the bandwidth-bound floor any
+    sweep-based algorithm sits on.
+    """
+    first_base, arc_base, dist_base = _layout(n, m)
+    return np.concatenate(
+        [
+            first_base + np.arange(n + 1, dtype=np.int64) * FIRST_BYTES,
+            arc_base + np.arange(m, dtype=np.int64) * ARC_BYTES,
+            dist_base + np.arange(n, dtype=np.int64) * LABEL_BYTES,
+            dist_base + np.arange(n, dtype=np.int64) * LABEL_BYTES,
+        ]
+    )

@@ -1,0 +1,14 @@
+"""Baseline single-source shortest path algorithms."""
+
+from .bfs import bfs, bfs_tree_python
+from .dijkstra import QUEUE_NAMES, dijkstra, make_queue
+from .result import ShortestPathTree
+
+__all__ = [
+    "bfs",
+    "bfs_tree_python",
+    "dijkstra",
+    "make_queue",
+    "QUEUE_NAMES",
+    "ShortestPathTree",
+]

@@ -1,0 +1,133 @@
+"""Dijkstra's algorithm with pluggable priority queues.
+
+This is the paper's baseline (Section II-A).  The queue is selected by
+name — ``"binary"``, ``"kheap"``, ``"dial"`` or ``"smart"`` — matching
+the variants of Table I.  All variants are label-setting: each vertex is
+scanned exactly once, after which its distance label is final.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..graph.csr import INF, StaticGraph
+from ..pq import (
+    BinaryHeap,
+    DialQueue,
+    FibonacciHeap,
+    KHeap,
+    MultiLevelBucketQueue,
+    PriorityQueue,
+)
+from .result import ShortestPathTree
+
+__all__ = ["dijkstra", "make_queue", "QUEUE_NAMES"]
+
+QUEUE_NAMES = ("binary", "kheap", "fibonacci", "dial", "smart")
+
+
+def make_queue(name: str, graph: StaticGraph) -> PriorityQueue:
+    """Instantiate the named queue sized for ``graph``.
+
+    The bucket queues need bounds derived from the arc lengths: Dial's
+    needs the maximum arc length ``C``; multi-level buckets need an
+    upper bound on any finite distance (``(n - 1) * C``).
+    """
+    n = graph.n
+    if name == "binary":
+        return BinaryHeap(n)
+    if name == "kheap":
+        return KHeap(n, arity=4)
+    if name == "fibonacci":
+        return FibonacciHeap(n)
+    max_len = int(graph.arc_len.max()) if graph.m else 0
+    if name == "dial":
+        return DialQueue(n, max_len)
+    if name == "smart":
+        return MultiLevelBucketQueue(n, max(1, (n - 1)) * max(1, max_len))
+    raise ValueError(f"unknown queue {name!r}; expected one of {QUEUE_NAMES}")
+
+
+def dijkstra(
+    graph: StaticGraph,
+    source: int,
+    *,
+    queue: str | Callable[[StaticGraph], PriorityQueue] = "smart",
+    with_parents: bool = True,
+    target: int | None = None,
+    dist_bound: int | None = None,
+    record_order: bool = False,
+) -> ShortestPathTree:
+    """Single-source shortest paths by Dijkstra's algorithm.
+
+    Parameters
+    ----------
+    graph:
+        Forward graph (outgoing adjacency).
+    source:
+        Root vertex.
+    queue:
+        Queue name (see :data:`QUEUE_NAMES`) or a factory called with
+        the graph.
+    with_parents:
+        Also record predecessor pointers.
+    target:
+        Stop as soon as ``target`` is scanned (point-to-point mode);
+        labels of unscanned vertices are then upper bounds only.
+    dist_bound:
+        Stop scanning once the minimum queue key exceeds this value;
+        used by reach and arc-flag preprocessing for bounded trees.
+    record_order:
+        Store the vertex settling order in ``result.extra["scan_order"]``
+        (the cache simulator replays it as an address trace).
+
+    Returns
+    -------
+    :class:`~repro.sssp.result.ShortestPathTree`
+    """
+    n = graph.n
+    if not 0 <= source < n:
+        raise ValueError("source out of range")
+    pq = queue(graph) if callable(queue) else make_queue(queue, graph)
+
+    dist = np.full(n, INF, dtype=np.int64)
+    parent = np.full(n, -1, dtype=np.int64) if with_parents else None
+    done = np.zeros(n, dtype=bool)
+
+    dist[source] = 0
+    pq.insert(source, 0)
+    scanned = 0
+    scan_order: list[int] | None = [] if record_order else None
+
+    first, arc_head, arc_len = graph.first, graph.arc_head, graph.arc_len
+    while pq:
+        v, dv = pq.pop_min()
+        if done[v]:  # stale copy from a lazy queue
+            continue
+        done[v] = True
+        scanned += 1
+        if scan_order is not None:
+            scan_order.append(v)
+        if target is not None and v == target:
+            break
+        if dist_bound is not None and dv > dist_bound:
+            break
+        for i in range(first[v], first[v + 1]):
+            w = int(arc_head[i])
+            nd = dv + int(arc_len[i])
+            if nd < dist[w]:
+                if dist[w] >= INF:
+                    pq.insert(w, nd)
+                else:
+                    pq.decrease_key(w, nd)
+                dist[w] = nd
+                if parent is not None:
+                    parent[w] = v
+    result = ShortestPathTree(
+        source=source, dist=dist, parent=parent, scanned=scanned
+    )
+    if scan_order is not None:
+        result.extra["scan_order"] = np.array(scan_order, dtype=np.int64)
+    return result

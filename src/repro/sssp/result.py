@@ -1,0 +1,60 @@
+"""Result container shared by the shortest-path tree algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.csr import INF
+
+__all__ = ["ShortestPathTree"]
+
+
+@dataclass
+class ShortestPathTree:
+    """Distances (and optionally parents) from one source.
+
+    Attributes
+    ----------
+    source:
+        The root vertex.
+    dist:
+        ``dist[v]`` is the shortest distance from ``source`` to ``v``,
+        or :data:`repro.graph.INF` if unreachable.
+    parent:
+        ``parent[v]`` is ``v``'s predecessor on a shortest path, ``-1``
+        for the source and unreachable vertices; ``None`` when parents
+        were not requested.
+    scanned:
+        Number of vertices the search scanned (settled), for work
+        accounting.
+    """
+
+    source: int
+    dist: np.ndarray
+    parent: np.ndarray | None = None
+    scanned: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def reached(self) -> np.ndarray:
+        """Boolean mask of vertices with finite distance."""
+        return self.dist < INF
+
+    def path_to(self, v: int) -> list[int]:
+        """Vertex sequence of the tree path ``source -> v``.
+
+        Requires parents; raises ``ValueError`` if ``v`` is unreachable.
+        """
+        if self.parent is None:
+            raise ValueError("tree was computed without parent pointers")
+        if self.dist[v] >= INF:
+            raise ValueError(f"vertex {v} is unreachable from {self.source}")
+        path = [int(v)]
+        while path[-1] != self.source:
+            p = int(self.parent[path[-1]])
+            if p < 0:
+                raise ValueError("broken parent chain")
+            path.append(p)
+        path.reverse()
+        return path

@@ -1,0 +1,12 @@
+"""Shared utilities: segmented-array helpers, timing, statistics."""
+
+from .segments import gather_ranges, repeat_per_segment, segment_minimum
+from .timing import Timer, median_of_repeats
+
+__all__ = [
+    "gather_ranges",
+    "repeat_per_segment",
+    "segment_minimum",
+    "Timer",
+    "median_of_repeats",
+]

@@ -1,0 +1,97 @@
+"""Vectorized helpers for segmented (CSR-style) arrays.
+
+Several algorithms need "for each vertex in this set, visit all its
+arcs" without a Python-level loop.  :func:`gather_ranges` materializes
+the concatenated arc-index vector for a set of vertices;
+:func:`segment_minimum` reduces per-segment minima, the core of the
+vectorized PHAST sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gather_ranges", "segment_minimum", "repeat_per_segment"]
+
+
+def gather_ranges(
+    first: np.ndarray, vertices: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate the CSR ranges of ``vertices``.
+
+    Parameters
+    ----------
+    first:
+        CSR offset array of length ``n + 1``.
+    vertices:
+        Vertex IDs whose ranges to gather (need not be sorted or
+        unique).
+
+    Returns
+    -------
+    ``(indices, owner)`` where ``indices`` lists the positions
+    ``first[v] .. first[v+1]-1`` for each ``v`` in order, and
+    ``owner[i]`` is the position *within* ``vertices`` that produced
+    ``indices[i]``.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    starts = first[vertices]
+    counts = first[vertices + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty
+    group_out_start = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    within = np.arange(total, dtype=np.int64) - np.repeat(group_out_start, counts)
+    indices = np.repeat(starts, counts) + within
+    owner = np.repeat(np.arange(vertices.size, dtype=np.int64), counts)
+    return indices, owner
+
+
+def repeat_per_segment(values: np.ndarray, first: np.ndarray) -> np.ndarray:
+    """Expand one value per segment into one value per element.
+
+    ``first`` is a CSR offset array; segment ``i`` covers positions
+    ``first[i] .. first[i+1]-1``.
+    """
+    return np.repeat(values, np.diff(first))
+
+
+def segment_minimum(
+    values: np.ndarray, boundaries: np.ndarray, initial: np.ndarray | None = None
+) -> np.ndarray:
+    """Per-segment minimum of ``values``.
+
+    Parameters
+    ----------
+    values:
+        1-D (or 2-D, reduced along axis 0) array of candidates.
+    boundaries:
+        CSR-style offsets of length ``k + 1`` delimiting ``k`` segments
+        over ``values``; empty segments are allowed.
+    initial:
+        Optional per-segment floor; the result is the elementwise
+        minimum with it (used to fold existing distance labels in).
+
+    Returns
+    -------
+    Array of ``k`` per-segment minima (rows for 2-D input).  Empty
+    segments yield ``initial`` (or the dtype maximum when no initial is
+    given).
+    """
+    boundaries = np.asarray(boundaries, dtype=np.int64)
+    k = boundaries.size - 1
+    out_shape = (k,) + values.shape[1:]
+    if values.size == 0 or boundaries[-1] == 0:
+        out = np.full(out_shape, np.iinfo(values.dtype).max, dtype=values.dtype)
+    else:
+        nonempty = boundaries[:-1] < boundaries[1:]
+        # reduceat misbehaves on empty segments (repeats the next
+        # element), so reduce only non-empty ones and fill the rest.
+        out = np.full(out_shape, np.iinfo(values.dtype).max, dtype=values.dtype)
+        if nonempty.any():
+            starts = boundaries[:-1][nonempty]
+            out[nonempty] = np.minimum.reduceat(values, starts, axis=0)
+    if initial is not None:
+        out = np.minimum(out, initial)
+    return out

@@ -1,0 +1,44 @@
+"""Small timing helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Callable
+
+__all__ = ["Timer", "median_of_repeats"]
+
+
+class Timer:
+    """Context manager measuring wall-clock seconds.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.seconds >= 0
+    True
+    """
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        self.seconds = 0.0
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+    @property
+    def millis(self) -> float:
+        """Elapsed milliseconds."""
+        return self.seconds * 1e3
+
+
+def median_of_repeats(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Median wall-clock seconds of ``repeats`` calls to ``fn``."""
+    times = []
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)

@@ -1,0 +1,78 @@
+"""Tests for the highway-dimension analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    INF,
+    hitting_set_profile,
+    long_path_hitting_set,
+    path_graph,
+    random_graph,
+    sample_shortest_paths,
+)
+from repro.sssp import dijkstra
+
+
+def _median_distance(g):
+    d = dijkstra(g, 0, with_parents=False).dist
+    return int(np.median(d[d < INF]))
+
+
+def test_sampled_paths_are_long_and_interior(road):
+    thr = _median_distance(road)
+    paths = sample_shortest_paths(road, min_length=thr, num_sources=8, seed=1)
+    assert paths
+    d0 = dijkstra(road, 0, with_parents=False).dist
+    for p in paths:
+        assert p.size >= 1
+        # Interior only: endpoints excluded by construction.
+        assert np.all(p < road.n)
+
+
+def test_hitting_set_covers_sampled_paths(road):
+    thr = _median_distance(road)
+    cover = long_path_hitting_set(road, min_length=thr, num_sources=8, seed=1)
+    paths = sample_shortest_paths(road, min_length=thr, num_sources=8, seed=1)
+    cover_set = set(cover.tolist())
+    for p in paths:
+        assert cover_set & set(p.tolist())
+
+
+def test_road_cover_is_small(road):
+    thr = _median_distance(road)
+    paths = sample_shortest_paths(road, min_length=thr, num_sources=16, seed=0)
+    cover = long_path_hitting_set(road, min_length=thr, num_sources=16, seed=0)
+    # Low highway dimension: few hitters cover many paths.
+    assert cover.size < len(paths) / 3
+
+
+def test_random_graph_needs_bigger_cover(road):
+    """Expander-like graphs lack the highway structure."""
+    r = random_graph(road.n, road.m, max_len=100, seed=1, connected=True)
+    thr_road = _median_distance(road)
+    thr_rand = _median_distance(r)
+    cov_road = long_path_hitting_set(road, min_length=thr_road, num_sources=16, seed=0)
+    cov_rand = long_path_hitting_set(r, min_length=thr_rand, num_sources=16, seed=0)
+    assert cov_rand.size > cov_road.size
+
+
+def test_cover_shrinks_with_threshold(road):
+    thr = _median_distance(road)
+    prof = hitting_set_profile(road, [thr // 2, 2 * thr], num_sources=16, seed=0)
+    (t1, p1, c1), (t2, p2, c2) = prof
+    assert c2 <= c1  # longer paths -> fewer hitters needed
+
+
+def test_hitters_are_high_in_hierarchy(road, road_ch):
+    thr = _median_distance(road)
+    cover = long_path_hitting_set(road, min_length=thr, num_sources=16, seed=0)
+    assert cover.size > 0
+    mean_pct = road_ch.rank[cover].mean() / road.n
+    assert mean_pct > 0.6  # hitters sit near the top of the CH order
+
+
+def test_no_long_paths_yields_empty():
+    g = path_graph(4, length=1)
+    cover = long_path_hitting_set(g, min_length=100, num_sources=4, seed=0)
+    assert cover.size == 0

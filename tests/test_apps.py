@@ -1,0 +1,260 @@
+"""Tests for the applications: diameter, partition, arc flags, reach,
+betweenness."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    arcflags_query,
+    betweenness,
+    boundary_vertices,
+    brandes_single_source,
+    compute_arc_flags,
+    diameter,
+    eccentricities,
+    exact_reaches,
+    partition_graph,
+    reach_from_tree,
+)
+from repro.graph import INF, StaticGraph, path_graph, star_graph
+from repro.sssp import dijkstra
+
+
+# -- diameter -------------------------------------------------------------
+
+
+def test_diameter_methods_agree(small_road, small_road_ch):
+    a = diameter(small_road, small_road_ch, method="phast")
+    b = diameter(small_road, method="dijkstra")
+    assert a.value == b.value
+    assert a.trees_computed == small_road.n
+
+
+def test_diameter_pair_realizes_value(small_road, small_road_ch):
+    r = diameter(small_road, small_road_ch, method="phast")
+    d = dijkstra(small_road, r.source, with_parents=False).dist[r.target]
+    assert d == r.value
+
+
+def test_diameter_path_graph():
+    g = path_graph(6, length=3)
+    from repro.ch import contract_graph
+
+    r = diameter(g, contract_graph(g), method="phast")
+    assert r.value == 15
+
+
+def test_diameter_sampled(small_road, small_road_ch):
+    r = diameter(small_road, small_road_ch, sources=np.array([0, 1]))
+    full = diameter(small_road, small_road_ch)
+    assert r.value <= full.value
+    assert r.trees_computed == 2
+
+
+def test_diameter_requires_ch_for_phast(small_road):
+    with pytest.raises(ValueError):
+        diameter(small_road, method="phast")
+    with pytest.raises(ValueError):
+        diameter(small_road, method="bogus")
+
+
+def test_eccentricities(small_road, small_road_ch):
+    e_ph = eccentricities(small_road, small_road_ch, method="phast")
+    e_dj = eccentricities(small_road, method="dijkstra")
+    assert np.array_equal(e_ph, e_dj)
+    full = diameter(small_road, small_road_ch)
+    assert e_ph.max() == full.value
+
+
+# -- partition -------------------------------------------------------------
+
+
+def test_partition_covers_all(small_road):
+    part = partition_graph(small_road, 4)
+    assert part.cell.min() >= 0
+    assert part.cell.max() < 4
+    assert part.sizes().sum() == small_road.n
+
+
+def test_partition_balanced_enough(road):
+    part = partition_graph(road, 8)
+    sizes = part.sizes()
+    assert sizes.min() > 0
+    assert sizes.max() < road.n / 2
+
+
+def test_partition_single_cell(small_road):
+    part = partition_graph(small_road, 1)
+    assert part.num_cells == 1
+    assert np.all(part.cell == 0)
+    assert boundary_vertices(small_road, part).size == 0
+
+
+def test_partition_invalid(small_road):
+    with pytest.raises(ValueError):
+        partition_graph(small_road, 0)
+    with pytest.raises(ValueError):
+        partition_graph(small_road, small_road.n + 1)
+
+
+def test_boundary_vertices_touch_crossing_arcs(small_road):
+    part = partition_graph(small_road, 4)
+    boundary = set(boundary_vertices(small_road, part).tolist())
+    cell = part.cell
+    for t, h, _ in small_road.arcs():
+        if cell[t] != cell[h]:
+            assert t in boundary and h in boundary
+
+
+# -- arc flags ----------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def flagged(small_road):
+    part = partition_graph(small_road, 4)
+    return compute_arc_flags(small_road, part, method="dijkstra")
+
+
+def test_arcflags_methods_agree(small_road, flagged):
+    af_ph = compute_arc_flags(
+        small_road, flagged.partition, method="phast"
+    )
+    assert np.array_equal(af_ph.flags, flagged.flags)
+
+
+def test_arcflags_queries_exact(small_road, flagged, rng):
+    for _ in range(30):
+        s, t = (int(x) for x in rng.integers(0, small_road.n, 2))
+        ref = dijkstra(small_road, s, with_parents=False).dist[t]
+        got, _ = arcflags_query(flagged, s, t)
+        assert got == ref
+
+
+def test_arcflags_prune_search(small_road, flagged, rng):
+    af_scans = dij_scans = 0
+    for _ in range(20):
+        s, t = (int(x) for x in rng.integers(0, small_road.n, 2))
+        _, sc = arcflags_query(flagged, s, t)
+        af_scans += sc
+        dij_scans += dijkstra(small_road, s, target=t).scanned
+    assert af_scans < dij_scans
+
+
+def test_arcflags_fraction_sane(flagged):
+    assert 0.0 < flagged.bits_set_fraction < 1.0
+
+
+def test_arcflags_trees_grown_matches_boundary(small_road, flagged):
+    assert flagged.trees_grown == boundary_vertices(
+        small_road, flagged.partition
+    ).size
+
+
+def test_arcflags_bad_method(small_road, flagged):
+    with pytest.raises(ValueError):
+        compute_arc_flags(small_road, flagged.partition, method="x")
+
+
+# -- reach ----------------------------------------------------------------------
+
+
+def test_reach_from_tree_path():
+    g = path_graph(5, length=1)
+    t = dijkstra(g, 0)
+    r = reach_from_tree(t.dist, t.parent, 0)
+    # Middle vertices see min(depth, height): [0,1,2,1,0].
+    assert r.tolist() == [0, 1, 2, 1, 0]
+
+
+def test_reach_star_center():
+    g = star_graph(7, length=2)
+    from repro.ch import contract_graph
+
+    reaches = exact_reaches(g, contract_graph(g), method="phast")
+    # The hub lies on all paths; leaves lie on none (reach 0... well,
+    # min(depth, height) for a leaf as endpoint is 0).
+    assert reaches[0] == 2
+    assert np.all(reaches[1:] == 0)
+
+
+def test_reach_methods_agree(small_road, small_road_ch):
+    a = exact_reaches(small_road, small_road_ch, method="phast")
+    b = exact_reaches(small_road, method="dijkstra")
+    assert np.array_equal(a, b)
+
+
+def test_reach_highways_have_high_reach(road, road_ch):
+    """The top CH vertices should be exactly the high-reach ones."""
+    reaches = exact_reaches(road, road_ch, method="phast")
+    top_rank = np.argsort(-road_ch.rank)[:20]
+    assert reaches[top_rank].mean() > 1.4 * reaches.mean()
+
+
+def test_reach_sampled_is_lower_bound(small_road, small_road_ch):
+    full = exact_reaches(small_road, small_road_ch)
+    sample = exact_reaches(
+        small_road, small_road_ch, sources=np.arange(0, small_road.n, 4)
+    )
+    assert np.all(sample <= full)
+
+
+# -- betweenness -------------------------------------------------------------------
+
+
+def test_betweenness_matches_networkx(small_road, small_road_ch):
+    nx = pytest.importorskip("networkx")
+    G = nx.DiGraph()
+    for t, h, l in small_road.arcs():
+        if G.has_edge(t, h):
+            G[t][h]["weight"] = min(G[t][h]["weight"], l)
+        else:
+            G.add_edge(t, h, weight=l)
+    ref = nx.betweenness_centrality(G, weight="weight", normalized=False)
+    got = betweenness(small_road, small_road_ch, method="phast")
+    for v in range(small_road.n):
+        assert got[v] == pytest.approx(ref[v], abs=1e-9)
+
+
+def test_betweenness_methods_agree(small_road, small_road_ch):
+    a = betweenness(small_road, small_road_ch, method="phast")
+    b = betweenness(small_road, method="dijkstra")
+    assert np.allclose(a, b)
+
+
+def test_betweenness_path_graph():
+    g = path_graph(5)
+    from repro.ch import contract_graph
+
+    bc = betweenness(g, contract_graph(g))
+    # Middle vertex of a path lies on the most paths.
+    assert bc[2] == bc.max()
+    assert bc[0] == 0 and bc[4] == 0
+
+
+def test_betweenness_normalized(small_road, small_road_ch):
+    n = small_road.n
+    raw = betweenness(small_road, small_road_ch)
+    norm = betweenness(small_road, small_road_ch, normalized=True)
+    assert np.allclose(norm, raw / ((n - 1) * (n - 2)))
+
+
+def test_betweenness_sampling_runs(small_road, small_road_ch):
+    bc = betweenness(
+        small_road, small_road_ch, sources=np.array([0, 5, 9])
+    )
+    assert bc.shape == (small_road.n,)
+    assert np.all(bc >= 0)
+
+
+def test_brandes_rejects_zero_lengths():
+    g = StaticGraph(2, [0], [1], [0])
+    with pytest.raises(ValueError):
+        brandes_single_source(g, g.reverse(), 0, np.array([0, 0], dtype=np.int64))
+
+
+def test_betweenness_top_vertices_are_arterial(road, road_ch):
+    """Betweenness concentrates on the same vertices CH ranks highest."""
+    bc = betweenness(road, road_ch, sources=np.arange(0, road.n, 5))
+    top_bc = np.argsort(-bc)[:40]
+    mean_rank_top = road_ch.rank[top_bc].mean()
+    assert mean_rank_top > road_ch.rank.mean()

@@ -1,0 +1,72 @@
+"""Unit tests for the mutable graph builder."""
+
+import pytest
+
+from repro.graph import GraphBuilder
+
+
+def test_build_empty():
+    g = GraphBuilder(5).build()
+    assert g.n == 5 and g.m == 0
+
+
+def test_add_arc_and_edge():
+    b = GraphBuilder(3)
+    b.add_arc(0, 1, 4)
+    b.add_edge(1, 2, 7)
+    g = b.build()
+    assert g.m == 3
+    assert g.arc_length(1, 2) == 7
+    assert g.arc_length(2, 1) == 7
+    with pytest.raises(KeyError):
+        g.arc_length(1, 0)
+
+
+def test_extend():
+    b = GraphBuilder(4)
+    b.extend([(0, 1, 1), (1, 2, 2), (2, 3, 3)])
+    assert len(b) == 3
+    assert b.build().m == 3
+
+
+def test_out_of_range_rejected():
+    b = GraphBuilder(2)
+    with pytest.raises(ValueError):
+        b.add_arc(0, 2, 1)
+    with pytest.raises(ValueError):
+        b.add_arc(-1, 0, 1)
+    with pytest.raises(ValueError):
+        b.add_arc(0, 1, -5)
+
+
+def test_dedupe_keeps_minimum():
+    b = GraphBuilder(2)
+    b.add_arc(0, 1, 9)
+    b.add_arc(0, 1, 3)
+    b.add_arc(0, 1, 6)
+    g = b.build(dedupe=True)
+    assert g.m == 1
+    assert g.arc_length(0, 1) == 3
+
+
+def test_dedupe_preserves_distinct_pairs():
+    b = GraphBuilder(3)
+    b.add_arc(0, 1, 1)
+    b.add_arc(0, 2, 2)
+    b.add_arc(1, 2, 3)
+    g = b.build(dedupe=True)
+    assert g.m == 3
+
+
+def test_drop_self_loops():
+    b = GraphBuilder(2)
+    b.add_arc(0, 0, 5)
+    b.add_arc(0, 1, 1)
+    g = b.build(drop_self_loops=True)
+    assert g.m == 1
+    assert not g.has_arc(0, 0)
+
+
+def test_negative_vertex_count():
+    with pytest.raises(ValueError):
+        GraphBuilder(-1)

@@ -1,0 +1,101 @@
+"""Tests for the cache simulator on hand-computable access patterns."""
+
+import numpy as np
+import pytest
+
+from repro.simulator import CacheHierarchy, CacheLevel, nehalem_hierarchy
+
+
+def direct_mapped(size=1024, line=64):
+    return CacheLevel("L1", size, line, 1, latency_cycles=4)
+
+
+def test_cold_miss_then_hit():
+    c = direct_mapped()
+    assert c.access(0) is False  # cold miss
+    assert c.access(0) is True
+    assert c.access(32) is True  # same 64-byte line
+    assert c.access(64) is False  # next line
+
+
+def test_direct_mapped_conflict():
+    c = direct_mapped(size=1024, line=64)  # 16 sets
+    a, b = 0, 1024  # same set, different tags
+    assert c.access(a) is False
+    assert c.access(b) is False
+    assert c.access(a) is False  # evicted by b
+    assert c.stats.hits == 0 and c.stats.misses == 3
+
+
+def test_two_way_no_conflict():
+    c = CacheLevel("L1", 2048, 64, 2, latency_cycles=4)
+    a, b = 0, 2048 // 2  # map to the same set in a 2-way cache
+    c.access(a)
+    c.access(b)
+    assert c.access(a) is True
+    assert c.access(b) is True
+
+
+def test_lru_eviction_order():
+    c = CacheLevel("L1", 64 * 2, 64, 2, latency_cycles=1)  # 1 set, 2 ways
+    c.access(0)
+    c.access(64)
+    c.access(0)  # refresh 0: LRU is now 64
+    c.access(128)  # evicts 64
+    assert c.access(0) is True
+    assert c.access(64) is False
+
+
+def test_sequential_streaming_miss_rate():
+    """Streaming touches each line once: miss rate = 4/64 per int32."""
+    c = direct_mapped(size=8192)
+    addrs = np.arange(0, 64 * 100, 4)
+    for a in addrs:
+        c.access(int(a))
+    assert c.stats.misses == 100
+    assert c.stats.miss_rate == pytest.approx(100 / addrs.size)
+
+
+def test_bad_geometry_rejected():
+    with pytest.raises(ValueError):
+        CacheLevel("L1", 1000, 64, 3, latency_cycles=1)
+
+
+def test_hierarchy_levels_and_dram():
+    h = CacheHierarchy(
+        levels=[
+            CacheLevel("L1", 256, 64, 1, 4),
+            CacheLevel("L2", 1024, 64, 2, 10),
+        ]
+    )
+    assert h.access(0) == "DRAM"
+    assert h.access(0) == "L1"
+    # Evict from tiny L1 (4 sets) but keep in L2.
+    h.access(256)  # set 0 conflict in L1
+    assert h.access(0) == "L2"
+    rep = h.report()
+    assert rep["dram_accesses"] == 2.0
+    assert rep["total_accesses"] == 4.0
+
+
+def test_hierarchy_reset():
+    h = nehalem_hierarchy(scale=0.01)
+    h.access(0)
+    h.reset()
+    assert h.total_accesses == 0
+    assert h.access(0) == "DRAM"
+
+
+def test_access_array():
+    h = nehalem_hierarchy(scale=0.01)
+    h.access_array(np.zeros(10, dtype=np.int64))
+    assert h.total_accesses == 10
+    assert h.dram_accesses == 1
+
+
+def test_nehalem_shape():
+    h = nehalem_hierarchy()
+    names = [l.name for l in h.levels]
+    assert names == ["L1", "L2", "L3"]
+    sizes = [l.num_sets * l.associativity * l.line_bytes for l in h.levels]
+    assert sizes == [32 * 1024, 256 * 1024, 8 * 1024 * 1024]

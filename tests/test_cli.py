@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graph import load_graph, load_hierarchy, save_graph
+
+
+@pytest.fixture()
+def artifacts(tmp_path, small_road, small_road_ch):
+    from repro.graph import save_hierarchy
+
+    gpath = tmp_path / "g.npz"
+    cpath = tmp_path / "g.ch.npz"
+    save_graph(small_road, gpath)
+    save_hierarchy(small_road_ch, cpath)
+    return gpath, cpath
+
+
+def test_generate(tmp_path, capsys):
+    out = tmp_path / "map.npz"
+    rc = main(
+        ["generate", "--kind", "europe", "--scale", "8", "-o", str(out)]
+    )
+    assert rc == 0
+    g = load_graph(out)
+    assert g.n == 64
+    assert "64 vertices" in capsys.readouterr().out
+
+
+def test_generate_usa_distance(tmp_path):
+    out = tmp_path / "map.npz"
+    assert (
+        main(
+            [
+                "generate", "--kind", "usa", "--scale", "6",
+                "--metric", "distance", "--layout", "input",
+                "-o", str(out),
+            ]
+        )
+        == 0
+    )
+    assert load_graph(out).n == 6 * (int(6 * 1.33) + 1)
+
+
+def test_preprocess_and_tree(tmp_path, artifacts, capsys):
+    gpath, _ = artifacts
+    cpath = tmp_path / "new.ch.npz"
+    assert main(["preprocess", str(gpath), "-o", str(cpath)]) == 0
+    load_hierarchy(cpath).validate()
+    out = tmp_path / "dist.npz"
+    assert main(
+        ["tree", str(gpath), str(cpath), "--source", "0", "-o", str(out)]
+    ) == 0
+    with np.load(out) as data:
+        from repro.sssp import dijkstra
+
+        g = load_graph(gpath)
+        assert np.array_equal(
+            data["dist"], dijkstra(g, 0, with_parents=False).dist
+        )
+
+
+def test_query(artifacts, capsys):
+    gpath, cpath = artifacts
+    rc = main(
+        ["query", str(cpath), "--source", "0", "--target", "5", "--path"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "distance" in out
+    assert "->" in out
+
+
+def test_query_stall(artifacts):
+    _, cpath = artifacts
+    assert (
+        main(
+            ["query", str(cpath), "--source", "0", "--target", "63", "--stall"]
+        )
+        == 0
+    )
+
+
+def test_query_unreachable(tmp_path, capsys):
+    from repro.ch import contract_graph
+    from repro.graph import StaticGraph, save_hierarchy
+
+    g = StaticGraph(3, [0], [1], [1])
+    cpath = tmp_path / "c.npz"
+    save_hierarchy(contract_graph(g), cpath)
+    rc = main(["query", str(cpath), "--source", "0", "--target", "2"])
+    assert rc == 1
+    assert "unreachable" in capsys.readouterr().out
+
+
+def test_stats(artifacts, capsys):
+    gpath, cpath = artifacts
+    assert main(["stats", str(gpath), str(cpath)]) == 0
+    out = capsys.readouterr().out
+    assert "graph:" in out and "hierarchy:" in out
+
+
+def test_convert_gr_roundtrip(tmp_path, artifacts):
+    gpath, _ = artifacts
+    grpath = tmp_path / "g.gr"
+    back = tmp_path / "g2.npz"
+    assert main(["convert", str(gpath), "-o", str(grpath)]) == 0
+    assert main(["convert", str(grpath), "-o", str(back)]) == 0
+    assert load_graph(back) == load_graph(gpath)
+
+
+def test_unknown_command_fails():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,147 @@
+"""Tests for the machine catalog and the CPU cost model."""
+
+import pytest
+
+from repro.simulator import (
+    MACHINES,
+    Calibration,
+    CostModel,
+    WorkloadCounts,
+    apsp_report,
+    energy_per_tree,
+    machine,
+)
+
+EUROPE = WorkloadCounts(n=18_000_000, arcs=33_800_000, levels=140)
+EUROPE_DIJ = WorkloadCounts(n=18_000_000, arcs=42_000_000)
+
+
+def test_machine_catalog_complete():
+    assert set(MACHINES) == {"M2-1", "M2-4", "M4-12", "M1-4", "M2-6"}
+    m14 = machine("M1-4")
+    assert m14.cores == 4
+    assert m14.numa_nodes == 1
+    assert m14.clock_ghz == pytest.approx(2.67)
+    assert machine("M4-12").cores == 48
+    assert machine("M4-12").numa_nodes == 8
+
+
+def test_machine_unknown():
+    with pytest.raises(KeyError):
+        machine("M9-99")
+
+
+def test_calibration_anchors_m1_4():
+    """The model must land near the paper's measured M1-4 figures."""
+    cm = CostModel(machine("M1-4"))
+    assert cm.phast_single(EUROPE) == pytest.approx(172, rel=0.10)
+    assert cm.phast_lower_bound(EUROPE) == pytest.approx(65.6, rel=0.10)
+    assert cm.dijkstra_single(EUROPE_DIJ) == pytest.approx(2800, rel=0.10)
+
+
+def test_table2_shape():
+    """Multi-tree shape: more k and more cores help; SSE helps."""
+    cm = CostModel(machine("M1-4"))
+    t_1_1 = cm.phast_per_tree_parallel(EUROPE, 1, trees_per_sweep=1)
+    t_16_1 = cm.phast_per_tree_parallel(EUROPE, 1, trees_per_sweep=16)
+    t_16_4 = cm.phast_per_tree_parallel(EUROPE, 4, trees_per_sweep=16)
+    t_16_4s = cm.phast_per_tree_parallel(EUROPE, 4, trees_per_sweep=16, sse=True)
+    assert t_16_1 < t_1_1
+    assert t_16_4 < t_16_1
+    assert t_16_4s < t_16_4
+    # Paper cells: 96.8 / 25.9 / 18.8.
+    assert t_16_1 == pytest.approx(96.8, rel=0.15)
+    assert t_16_4 == pytest.approx(25.9, rel=0.15)
+    assert t_16_4s == pytest.approx(18.8, rel=0.20)
+
+
+def test_level_parallel_anchor():
+    cm = CostModel(machine("M1-4"))
+    got = cm.phast_single_tree_level_parallel(EUROPE, 4)
+    assert got == pytest.approx(49.7, rel=0.15)
+
+
+def test_phast_dijkstra_ratio_constant_across_machines():
+    """Paper: PHAST beats Dijkstra by a machine-independent factor."""
+    ratios = []
+    for name in MACHINES:
+        cm = CostModel(machine(name))
+        ratios.append(cm.dijkstra_single(EUROPE_DIJ) / cm.phast_single(EUROPE))
+    assert max(ratios) / min(ratios) < 1.15
+    assert 10 < min(ratios) < 25
+
+
+def test_pinning_matters_on_numa():
+    """Unpinned threads on M4-12 forfeit most of the speedup."""
+    cm = CostModel(machine("M4-12"))
+    spec = machine("M4-12")
+    pinned = cm.phast_per_tree_parallel(EUROPE, spec.cores, pinned=True)
+    free = cm.phast_per_tree_parallel(EUROPE, spec.cores, pinned=False)
+    assert free > 3 * pinned
+    single = cm.phast_single(EUROPE)
+    assert 20 < single / pinned <= 48  # paper: 34x on 48 cores
+
+
+def test_pinning_irrelevant_on_single_socket():
+    cm = CostModel(machine("M1-4"))
+    pinned = cm.phast_per_tree_parallel(EUROPE, 4, pinned=True)
+    free = cm.phast_per_tree_parallel(EUROPE, 4, pinned=False)
+    assert free == pytest.approx(pinned)
+
+
+def test_m4_12_nearly_matches_gphast():
+    """Paper VIII-F: the 48-core server is almost as fast as GPHAST."""
+    cm = CostModel(machine("M4-12"))
+    best_cpu = cm.phast_per_tree_parallel(
+        EUROPE, 48, trees_per_sweep=16, pinned=True
+    )
+    assert 1.5 < best_cpu < 8.0  # GPHAST models at ~2.1 ms
+
+
+def test_threads_capped_at_cores():
+    cm = CostModel(machine("M1-4"))
+    a = cm.phast_per_tree_parallel(EUROPE, 4)
+    b = cm.phast_per_tree_parallel(EUROPE, 400)
+    assert a == b
+
+
+def test_lower_bound_scales_with_k():
+    cm = CostModel(machine("M1-4"))
+    lb1 = cm.phast_lower_bound(EUROPE, 4, trees_per_sweep=1)
+    lb16 = cm.phast_lower_bound(EUROPE, 4, trees_per_sweep=16)
+    assert lb16 < lb1
+    assert lb16 == pytest.approx(12.8, rel=0.25)  # paper Section VIII-C
+
+
+def test_custom_calibration():
+    cal = Calibration(dijkstra_cycles_per_arc=10.0)
+    cm = CostModel(machine("M1-4"), cal)
+    assert cm.dijkstra_single(EUROPE_DIJ) < CostModel(
+        machine("M1-4")
+    ).dijkstra_single(EUROPE_DIJ)
+
+
+def test_energy_helpers():
+    j = energy_per_tree(100.0, 200.0)
+    assert j == pytest.approx(20.0)
+    rep = apsp_report("M1-4", 47.1, 163.0, 18_000_000)
+    assert rep.total_seconds == pytest.approx(47.1e-3 * 18e6)
+    assert rep.per_tree_joules == pytest.approx(7.68, rel=0.01)
+    # d:hh:mm formatting
+    assert rep.total_dhm.count(":") == 2
+
+
+def test_energy_without_watts():
+    import math
+
+    rep = apsp_report("X", 10.0, None, 100)
+    assert math.isnan(rep.per_tree_joules)
+
+
+def test_gphast_energy_beats_m4_12():
+    """Paper: M4-12 burns ~3x the energy per tree of the GTX 580 box."""
+    cm = CostModel(machine("M4-12"))
+    cpu_ms = cm.phast_per_tree_parallel(EUROPE, 48, trees_per_sweep=16)
+    cpu_j = energy_per_tree(cpu_ms, machine("M4-12").watts_full_load)
+    gpu_j = energy_per_tree(2.21, 375.0)
+    assert 1.5 < cpu_j / gpu_j < 6.0

@@ -1,0 +1,136 @@
+"""Unit tests for the CSR static graph."""
+
+import numpy as np
+import pytest
+
+from repro.graph import INF, StaticGraph
+from repro.graph.csr import arcs_sorted_by_tail
+
+
+def test_empty_graph():
+    g = StaticGraph(0, [], [], [])
+    assert g.n == 0 and g.m == 0
+    assert g.first.tolist() == [0]
+
+
+def test_no_arcs():
+    g = StaticGraph(3, [], [], [])
+    assert g.n == 3 and g.m == 0
+    assert g.out_degree(0) == 0
+    assert list(g.arcs()) == []
+
+
+def test_basic_adjacency():
+    g = StaticGraph(4, [0, 0, 1, 3], [1, 2, 2, 0], [5, 7, 1, 9])
+    assert g.n == 4 and g.m == 4
+    assert sorted(g.neighbors(0).tolist()) == [1, 2]
+    assert g.out_degree(1) == 1
+    assert g.out_degree(2) == 0
+    assert g.arc_length(3, 0) == 9
+
+
+def test_arcs_grouped_by_tail():
+    g = StaticGraph(3, [2, 0, 1, 0], [0, 1, 2, 2], [1, 2, 3, 4])
+    tails = g.arc_tails()
+    assert np.all(np.diff(tails) >= 0)
+    assert set(g.arcs()) == {(2, 0, 1), (0, 1, 2), (1, 2, 3), (0, 2, 4)}
+
+
+def test_stable_order_within_tail():
+    # Arcs sharing a tail keep insertion order (stable sort).
+    g = StaticGraph(2, [0, 0, 0], [1, 1, 1], [3, 1, 2])
+    assert g.arc_lengths(0).tolist() == [3, 1, 2]
+
+
+def test_parallel_arcs_and_self_loops_allowed():
+    g = StaticGraph(2, [0, 0, 1], [1, 1, 1], [4, 2, 0])
+    assert g.m == 3
+    assert g.arc_length(0, 1) == 2  # min of parallels
+    assert g.has_arc(1, 1)
+
+
+def test_reverse_roundtrip():
+    g = StaticGraph(4, [0, 1, 2, 3], [1, 2, 3, 0], [1, 2, 3, 4])
+    rr = g.reverse().reverse()
+    assert rr == g
+
+
+def test_reverse_adjacency():
+    g = StaticGraph(3, [0, 1], [2, 2], [5, 6])
+    r = g.reverse()
+    assert sorted(r.neighbors(2).tolist()) == [0, 1]
+    assert r.out_degree(0) == 0
+
+
+def test_permute_identity():
+    g = StaticGraph(3, [0, 1], [1, 2], [1, 2])
+    assert g.permute(np.arange(3)) == g
+
+
+def test_permute_relabels():
+    g = StaticGraph(3, [0, 1], [1, 2], [7, 8])
+    p = np.array([2, 0, 1])  # 0->2, 1->0, 2->1
+    h = g.permute(p)
+    assert h.arc_length(2, 0) == 7
+    assert h.arc_length(0, 1) == 8
+
+
+def test_permute_rejects_non_permutation():
+    g = StaticGraph(3, [0], [1], [1])
+    with pytest.raises(ValueError):
+        g.permute(np.array([0, 0, 1]))
+    with pytest.raises(ValueError):
+        g.permute(np.array([0, 1]))
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        StaticGraph(2, [0], [5], [1])  # head out of range
+    with pytest.raises(ValueError):
+        StaticGraph(2, [3], [0], [1])  # tail out of range
+    with pytest.raises(ValueError):
+        StaticGraph(2, [0], [1], [-1])  # negative length
+    with pytest.raises(ValueError):
+        StaticGraph(-1, [], [], [])
+
+
+def test_arc_length_missing_raises():
+    g = StaticGraph(2, [0], [1], [1])
+    with pytest.raises(KeyError):
+        g.arc_length(1, 0)
+
+
+def test_from_arcs_and_from_csr():
+    arcs = [(0, 1, 3), (1, 2, 4)]
+    g = StaticGraph.from_arcs(3, arcs)
+    h = StaticGraph.from_csr(g.first, g.arc_head, g.arc_len)
+    assert g == h
+
+
+def test_inf_headroom():
+    # INF + max arc length must not overflow int64.
+    assert INF + np.int64(2**31) > INF
+    assert int(INF) + 2**62 - 1 <= np.iinfo(np.int64).max
+
+
+def test_arcs_sorted_by_tail_counts():
+    first, heads, lens = arcs_sorted_by_tail(
+        3,
+        np.array([2, 0, 2]),
+        np.array([0, 1, 1]),
+        np.array([1, 2, 3]),
+    )
+    assert first.tolist() == [0, 1, 1, 3]
+    assert heads.tolist() == [1, 0, 1]
+
+
+def test_degrees_and_nbytes():
+    g = StaticGraph(3, [0, 0, 1], [1, 2, 0], [1, 1, 1])
+    assert g.degrees().tolist() == [2, 1, 0]
+    assert g.nbytes > 0
+
+
+def test_not_hashable():
+    g = StaticGraph(1, [], [], [])
+    with pytest.raises(TypeError):
+        hash(g)

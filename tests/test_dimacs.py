@@ -1,0 +1,81 @@
+"""Unit tests for DIMACS file I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    RoadNetworkParams,
+    read_co,
+    read_gr,
+    road_network,
+    write_co,
+    write_gr,
+)
+
+
+def test_gr_roundtrip_small():
+    g = road_network(RoadNetworkParams(rows=6, cols=6, seed=4))
+    buf = io.StringIO()
+    write_gr(g, buf, comment="test instance")
+    buf.seek(0)
+    h = read_gr(buf)
+    assert g == h
+
+
+def test_gr_roundtrip_files(tmp_path):
+    g = road_network(RoadNetworkParams(rows=5, cols=5, seed=8))
+    path = tmp_path / "g.gr"
+    write_gr(g, path)
+    assert read_gr(path) == g
+
+
+def test_read_gr_parses_known_format():
+    text = "c comment\np sp 3 2\na 1 2 10\na 2 3 20\n"
+    g = read_gr(io.StringIO(text))
+    assert g.n == 3 and g.m == 2
+    assert g.arc_length(0, 1) == 10
+    assert g.arc_length(1, 2) == 20
+
+
+def test_read_gr_blank_lines_ok():
+    g = read_gr(io.StringIO("p sp 2 1\n\na 1 2 5\n"))
+    assert g.m == 1
+
+
+def test_read_gr_arc_count_mismatch():
+    with pytest.raises(ValueError, match="declares"):
+        read_gr(io.StringIO("p sp 2 2\na 1 2 5\n"))
+
+
+def test_read_gr_missing_problem_line():
+    with pytest.raises(ValueError):
+        read_gr(io.StringIO("a 1 2 5\n"))
+    with pytest.raises(ValueError, match="arc before"):
+        read_gr(io.StringIO("a 1 2 5\np sp 2 1\n"))
+
+
+def test_read_gr_bad_records():
+    with pytest.raises(ValueError, match="unknown record"):
+        read_gr(io.StringIO("p sp 1 0\nx nonsense\n"))
+    with pytest.raises(ValueError, match="bad arc line"):
+        read_gr(io.StringIO("p sp 2 1\na 1 2\n"))
+    with pytest.raises(ValueError, match="bad problem line"):
+        read_gr(io.StringIO("p xx 2 1\n"))
+
+
+def test_co_roundtrip():
+    coords = np.array([[100, 200], [-5, 7], [0, 0]])
+    buf = io.StringIO()
+    write_co(coords, buf)
+    buf.seek(0)
+    back = read_co(buf)
+    assert np.array_equal(coords, back)
+
+
+def test_read_co_errors():
+    with pytest.raises(ValueError, match="vertex before"):
+        read_co(io.StringIO("v 1 2 3\n"))
+    with pytest.raises(ValueError, match="missing problem"):
+        read_co(io.StringIO("c nothing\n"))

@@ -1,0 +1,117 @@
+"""Tests for extension features: approximate betweenness, coordinates,
+partition quality."""
+
+import numpy as np
+import pytest
+
+from repro.apps import betweenness, betweenness_approx, partition_graph, partition_quality
+from repro.graph import (
+    RoadNetworkParams,
+    road_network,
+    road_network_coordinates,
+    write_co,
+)
+
+
+def test_betweenness_approx_near_exact(small_road, small_road_ch):
+    n = small_road.n
+    exact = betweenness(small_road, small_road_ch)
+    approx, m = betweenness_approx(
+        small_road, small_road_ch, epsilon=0.05, delta=0.1, seed=0
+    )
+    assert 0 < m <= n
+    # The guarantee is on the normalized scale.
+    err = np.abs(approx - exact) / (n * (n - 1))
+    assert err.max() <= 0.05 + 1e-12
+
+
+def test_betweenness_approx_all_pivots_is_exact(small_road, small_road_ch):
+    """epsilon small enough forces m = n, recovering the exact values."""
+    exact = betweenness(small_road, small_road_ch)
+    approx, m = betweenness_approx(
+        small_road, small_road_ch, epsilon=0.01, delta=0.1, seed=1
+    )
+    if m == small_road.n:
+        assert np.allclose(approx, exact)
+
+
+def test_betweenness_approx_pivot_count_grows():
+    from repro.ch import contract_graph
+    from repro.graph import grid_graph
+
+    g = grid_graph(6, 6)
+    ch = contract_graph(g)
+    _, m_loose = betweenness_approx(g, ch, epsilon=0.5, delta=0.5, seed=0)
+    _, m_tight = betweenness_approx(g, ch, epsilon=0.1, delta=0.1, seed=0)
+    assert m_tight >= m_loose
+
+
+def test_betweenness_approx_validation(small_road, small_road_ch):
+    with pytest.raises(ValueError):
+        betweenness_approx(small_road, small_road_ch, epsilon=0.0)
+    with pytest.raises(ValueError):
+        betweenness_approx(small_road, small_road_ch, delta=1.5)
+
+
+# -- coordinates ----------------------------------------------------------
+
+
+def test_coordinates_shape_and_determinism():
+    p = RoadNetworkParams(rows=6, cols=9, seed=3)
+    a = road_network_coordinates(p)
+    b = road_network_coordinates(p)
+    assert a.shape == (54, 2)
+    assert np.array_equal(a, b)
+
+
+def test_coordinates_respect_grid():
+    p = RoadNetworkParams(rows=4, cols=4, cell_meters=100.0, seed=0)
+    coords = road_network_coordinates(p)
+    # Vertex (r=0, c=3) lies near x = 300, y = 0.
+    x, y = coords[3]
+    assert abs(x - 300) <= 30
+    assert abs(y) <= 30
+
+
+def test_coordinates_roundtrip_dimacs(tmp_path):
+    from repro.graph import read_co
+
+    p = RoadNetworkParams(rows=5, cols=5, seed=1)
+    coords = road_network_coordinates(p)
+    path = tmp_path / "g.co"
+    write_co(coords, path)
+    assert np.array_equal(read_co(path), coords)
+
+
+def test_coordinates_match_arc_lengths():
+    """Geometric neighbours should be roughly cell_meters apart."""
+    p = RoadNetworkParams(rows=6, cols=6, removal_prob=0.0, seed=2)
+    coords = road_network_coordinates(p).astype(float)
+    d = np.linalg.norm(coords[0] - coords[1])
+    assert 40 < d < 160  # 100m grid with +-25% jitter per endpoint
+
+
+# -- partition quality ----------------------------------------------------
+
+
+def test_partition_quality_fields(road):
+    part = partition_graph(road, 6)
+    q = partition_quality(road, part)
+    assert set(q) == {"cut_arcs", "cut_fraction", "boundary_vertices", "balance"}
+    assert 0 < q["cut_fraction"] < 1
+    assert q["balance"] >= 1.0
+    assert q["boundary_vertices"] <= road.n
+
+
+def test_partition_quality_single_cell(road):
+    part = partition_graph(road, 1)
+    q = partition_quality(road, part)
+    assert q["cut_arcs"] == 0
+    assert q["boundary_vertices"] == 0
+    assert q["balance"] == pytest.approx(1.0)
+
+
+def test_more_cells_more_boundary(road):
+    q4 = partition_quality(road, partition_graph(road, 4))
+    q16 = partition_quality(road, partition_graph(road, 16))
+    assert q16["boundary_vertices"] >= q4["boundary_vertices"]

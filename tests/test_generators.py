@@ -1,0 +1,116 @@
+"""Unit tests for the synthetic network generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    RoadNetworkParams,
+    check_graph,
+    complete_graph,
+    cycle_graph,
+    europe_like,
+    grid_graph,
+    is_strongly_connected,
+    path_graph,
+    random_graph,
+    road_network,
+    star_graph,
+    usa_like,
+)
+
+
+def test_road_network_basic_shape():
+    g = road_network(RoadNetworkParams(rows=10, cols=12, seed=0))
+    assert g.n == 120
+    check_graph(g)
+    assert is_strongly_connected(g)
+
+
+def test_road_network_symmetric_arcs():
+    g = road_network(RoadNetworkParams(rows=8, cols=8, seed=1))
+    arcs = {(t, h): l for t, h, l in g.arcs()}
+    for (t, h), l in arcs.items():
+        assert arcs.get((h, t)) == l
+
+
+def test_road_network_deterministic():
+    p = RoadNetworkParams(rows=9, cols=9, seed=5)
+    assert road_network(p) == road_network(p)
+
+
+def test_road_network_seeds_differ():
+    a = road_network(RoadNetworkParams(rows=9, cols=9, seed=5))
+    b = road_network(RoadNetworkParams(rows=9, cols=9, seed=6))
+    assert a != b
+
+
+def test_road_network_positive_lengths():
+    for metric in ("time", "distance"):
+        g = road_network(RoadNetworkParams(rows=8, cols=8, metric=metric, seed=2))
+        assert int(g.arc_len.min()) >= 1
+
+
+def test_road_network_metrics_differ():
+    t = road_network(RoadNetworkParams(rows=8, cols=8, metric="time", seed=2))
+    d = road_network(RoadNetworkParams(rows=8, cols=8, metric="distance", seed=2))
+    assert not np.array_equal(t.arc_len, d.arc_len)
+
+
+def test_road_network_highway_tier_is_faster():
+    """Travel-time lengths on highway rows must undercut local rows."""
+    p = RoadNetworkParams(rows=33, cols=33, removal_prob=0.0, seed=0)
+    g = road_network(p)
+    # Row 0 is a highway (0 % 32 == 0); row 1 is local.
+    hw = [g.arc_length(c, c + 1) for c in range(5)]
+    local = [g.arc_length(p.cols + c, p.cols + c + 1) for c in range(5)]
+    assert np.mean(hw) < np.mean(local) / 2
+
+
+def test_road_network_param_validation():
+    with pytest.raises(ValueError):
+        RoadNetworkParams(rows=1, cols=5)
+    with pytest.raises(ValueError):
+        RoadNetworkParams(metric="hops")
+    with pytest.raises(ValueError):
+        RoadNetworkParams(removal_prob=1.0)
+
+
+def test_removal_keeps_connectivity():
+    g = road_network(
+        RoadNetworkParams(rows=12, cols=12, removal_prob=0.4, seed=3)
+    )
+    assert is_strongly_connected(g)
+
+
+def test_europe_and_usa_like():
+    eu = europe_like(scale=10)
+    us = usa_like(scale=10)
+    assert eu.n == 100
+    assert us.n == 10 * (int(10 * 1.33) + 1)
+    assert is_strongly_connected(eu)
+    assert is_strongly_connected(us)
+
+
+def test_grid_graph():
+    g = grid_graph(3, 4, length=2)
+    assert g.n == 12
+    assert g.m == 2 * (3 * 3 + 2 * 4)  # bidirected edges
+    assert g.arc_length(0, 1) == 2
+
+
+def test_path_cycle_star_complete():
+    assert path_graph(4).m == 6
+    assert cycle_graph(4).m == 8
+    assert star_graph(5).m == 8
+    assert complete_graph(4).m == 12
+
+
+def test_random_graph_connected_flag():
+    g = random_graph(50, 20, seed=1, connected=True)
+    assert is_strongly_connected(g)
+    assert g.m == 2 * 50 + 20
+
+
+def test_random_graph_zero_arcs():
+    g = random_graph(10, 0, seed=0)
+    assert g.m == 0

@@ -1,0 +1,119 @@
+"""Tests for GPHAST and the GPU cost model."""
+
+import numpy as np
+import pytest
+
+from repro.core import GphastEngine
+from repro.simulator import GTX_480, GTX_580, GpuCostModel
+from repro.sssp import dijkstra
+
+
+def test_gphast_distances_exact(road, road_ch, rng):
+    engine = GphastEngine(road_ch)
+    sources = [int(s) for s in rng.integers(0, road.n, 4)]
+    res = engine.trees(sources)
+    for i, s in enumerate(sources):
+        ref = dijkstra(road, s, with_parents=False).dist
+        assert np.array_equal(res.dist[i], ref)
+
+
+def test_gphast_single_source(road, road_ch):
+    engine = GphastEngine(road_ch)
+    res = engine.trees(3)
+    assert res.dist.shape == (1, road.n)
+    assert res.report.k == 1
+
+
+def test_gphast_report_fields(road_ch):
+    engine = GphastEngine(road_ch)
+    res = engine.trees([0, 1])
+    r = res.report
+    assert r.kernels == engine.sweep.num_levels
+    assert r.total_ms > 0
+    assert r.per_tree_ms == pytest.approx(r.total_ms / 2)
+    assert r.memory_mb > 0
+    assert r.fits_in_memory
+
+
+def test_gphast_more_trees_is_cheaper_per_tree(road_ch):
+    engine = GphastEngine(road_ch)
+    per_tree = [
+        engine.model.sweep_cost(
+            engine._level_verts, engine._level_arcs, k
+        ).per_tree_ms
+        for k in (1, 2, 4, 8, 16)
+    ]
+    assert all(a >= b for a, b in zip(per_tree, per_tree[1:]))
+
+
+def test_gphast_memory_grows_with_k(road_ch):
+    engine = GphastEngine(road_ch)
+    m1 = engine.model.device_memory_mb(1000, 3000, 1)
+    m16 = engine.model.device_memory_mb(1000, 3000, 16)
+    assert m16 > m1
+
+
+def test_gtx580_beats_gtx480(road_ch):
+    e580 = GphastEngine(road_ch, gpu=GTX_580)
+    e480 = GphastEngine(road_ch, gpu=GTX_480)
+    r580 = e580.trees([0]).report
+    r480 = e480.trees([0]).report
+    assert r580.total_ms < r480.total_ms
+
+
+def test_degree_ordering_is_worse(road_ch):
+    """Paper Section VI: degree-ordered warps hurt gather locality."""
+    engine = GphastEngine(road_ch)
+    level_ordered = engine.trees([0]).report
+    degree_ordered = engine.degree_ordered_report(k=1)
+    assert degree_ordered.total_ms > level_ordered.total_ms
+
+
+def test_check_memory_paper_scale():
+    """Europe at k=16 just about fills the GTX 580's 1.5 GB."""
+    model = GpuCostModel(GTX_580)
+    mb = model.device_memory_mb(18_000_000, 33_800_000, 16)
+    assert 1300 < mb < 1600
+
+
+def test_europe_scale_model_anchors():
+    """Modeled per-tree times track Table III's anchors."""
+    model = GpuCostModel(GTX_580)
+    levels = 140
+    lv = np.full(levels, 9_000_000 / (levels - 1))
+    lv[0] = 9_000_000
+    la = np.full(levels, 33_800_000 / levels)
+    k1 = model.sweep_cost(lv, la, 1).per_tree_ms
+    k16 = model.sweep_cost(lv, la, 16).per_tree_ms
+    assert 4.0 < k1 < 7.5  # paper: 5.53
+    assert 1.5 < k16 < 3.0  # paper: 2.21
+
+
+def test_trees_with_parents(road, road_ch):
+    from repro.graph import INF
+
+    engine = GphastEngine(road_ch)
+    plain = engine.trees([3, 9])
+    res = engine.trees_with_parents([3, 9])
+    assert res.parents is not None and len(res.parents) == 2
+    # Reconstruction costs extra modeled time, same distances.
+    assert res.report.total_ms > plain.report.total_ms
+    assert np.array_equal(res.dist, plain.dist)
+    # Parents form valid chains.
+    for i, s in enumerate((3, 9)):
+        parent, dist = res.parents[i], res.dist[i]
+        for v in range(road.n):
+            if v == s or dist[v] >= INF:
+                continue
+            u, hops = v, 0
+            while u != s:
+                u = int(parent[u])
+                assert u >= 0
+                hops += 1
+                assert hops <= road.n
+
+
+def test_sweep_cost_shape_mismatch():
+    model = GpuCostModel(GTX_580)
+    with pytest.raises(ValueError):
+        model.sweep_cost(np.ones(3), np.ones(4), 1)

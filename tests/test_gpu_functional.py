@@ -1,0 +1,120 @@
+"""Tests for the functional SIMT simulator."""
+
+import numpy as np
+import pytest
+
+from repro.ch import contract_graph
+from repro.core import SweepStructure
+from repro.graph import path_graph, star_graph
+from repro.simulator import GTX_480, GTX_580, GpuFunctionalSim
+from repro.simulator.gpu_functional import SEGMENT_BYTES, _segments
+
+
+def test_segments_counting():
+    assert _segments(np.array([], dtype=np.int64)) == 0
+    assert _segments(np.array([0, 4, 8, 28])) == 1  # one 32B window
+    assert _segments(np.array([0, 32])) == 2
+    assert _segments(np.array([0, 31, 32, 63])) == 2
+    assert _segments(np.arange(0, 32 * 10, 32)) == 10
+
+
+@pytest.fixture(scope="module")
+def sim(road_ch_module):
+    return GpuFunctionalSim(SweepStructure(road_ch_module))
+
+
+@pytest.fixture(scope="module")
+def road_ch_module():
+    from repro.graph import RoadNetworkParams, road_network
+
+    return contract_graph(road_network(RoadNetworkParams(rows=16, cols=16, seed=1)))
+
+
+def test_kernel_count_equals_levels(sim):
+    report = sim.run(1)
+    assert len(report.kernels) == sim.sweep.num_levels
+
+
+def test_vertex_coverage(sim):
+    report = sim.run(1)
+    assert sum(ks.vertices for ks in report.kernels) == sim.sweep.n
+
+
+def test_useful_iterations_equal_arc_count(sim):
+    """Every downward arc is processed exactly once per tree."""
+    for k in (1, 4, 32):
+        report = sim.run(k)
+        useful = sum(ks.useful_lane_iterations for ks in report.kernels)
+        lanes_per_vertex = max(1, min(k, 32))
+        assert useful == sim.sweep.num_arcs * lanes_per_vertex
+
+
+def test_k32_has_no_divergence(sim):
+    """Paper: at k = 32 all lanes of a warp work on one vertex."""
+    report = sim.run(32)
+    assert report.mean_divergence_waste == pytest.approx(0.0)
+
+
+def test_divergence_shrinks_with_k(sim):
+    w1 = sim.run(1).mean_divergence_waste
+    w16 = sim.run(16).mean_divergence_waste
+    assert w16 < w1
+
+
+def test_degree_order_moves_more_data(sim):
+    """Section VI: degree-sorted warps scatter the label gathers."""
+    level = sim.run(1)
+    degree = sim.run(1, vertex_order="degree")
+    assert degree.total_transactions > level.total_transactions
+    # Same work either way.
+    assert sum(k.useful_lane_iterations for k in degree.kernels) == sum(
+        k.useful_lane_iterations for k in level.kernels
+    )
+
+
+def test_degree_order_irrelevant_at_k32(sim):
+    """One warp = one vertex at k=32: intra-level order cannot matter."""
+    a = sim.run(32)
+    b = sim.run(32, vertex_order="degree")
+    assert a.total_transactions == b.total_transactions
+
+
+def test_per_tree_time_improves_with_k(sim):
+    times = [sim.run(k).total_ms / k for k in (1, 4, 16)]
+    assert times[0] > times[1] > times[2]
+
+
+def test_faster_card_is_faster(sim):
+    sw = sim.sweep
+    slow = GpuFunctionalSim(sw, GTX_480).run(4)
+    fast = GpuFunctionalSim(sw, GTX_580).run(4)
+    assert fast.total_ms < slow.total_ms
+
+
+def test_bad_vertex_order_rejected(sim):
+    with pytest.raises(ValueError):
+        sim.run(1, vertex_order="random")
+
+
+def test_star_graph_no_divergence():
+    """A star's downward graph has in-degree exactly 1 at every leaf
+    (the hub outranks everything): warps never diverge."""
+    ch = contract_graph(star_graph(200))
+    sim = GpuFunctionalSim(SweepStructure(ch))
+    report = sim.run(1)
+    assert report.mean_divergence_waste == pytest.approx(0.0)
+
+
+def test_road_network_diverges_at_k1(sim):
+    """Real (road-like) levels mix in-degrees, so k=1 warps diverge —
+    the irregularity Section VI calls out for actual road networks."""
+    report = sim.run(1)
+    assert report.mean_divergence_waste > 0.1
+
+
+def test_path_graph_uniform():
+    """A path has degree <= 2 everywhere: divergence is minimal."""
+    ch = contract_graph(path_graph(64))
+    sim = GpuFunctionalSim(SweepStructure(ch))
+    report = sim.run(1)
+    assert report.mean_divergence_waste < 0.5

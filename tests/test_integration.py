@@ -1,0 +1,107 @@
+"""End-to-end integration tests across the whole library."""
+
+import numpy as np
+
+from repro import (
+    GphastEngine,
+    PhastEngine,
+    ch_query,
+    contract_graph,
+    dijkstra,
+    europe_like,
+    parents_in_original_graph,
+    trees_per_core,
+)
+from repro.apps import arcflags_query, compute_arc_flags, partition_graph
+from repro.core.trees import validate_tree
+from repro.graph import INF, dfs_order
+from repro.simulator import CostModel, machine, phast_counts
+
+
+def test_full_pipeline_europe_like():
+    """Generate → layout → CH → PHAST → applications, one flow."""
+    g = europe_like(scale=12, seed=1)
+    # DFS layout, as the paper's experimental setup prescribes.
+    g = g.permute(dfs_order(g))
+    ch = contract_graph(g)
+    ch.validate()
+
+    engine = PhastEngine(ch)
+    ref = dijkstra(g, 0, with_parents=False).dist
+    tree = engine.tree(0)
+    assert np.array_equal(tree.dist, ref)
+
+    # Point-to-point query agrees.
+    q = ch_query(ch, 0, g.n - 1, unpack=True)
+    assert q.distance == ref[g.n - 1]
+
+    # Tree recovery validates.
+    parent = parents_in_original_graph(g, tree.dist, 0)
+    assert validate_tree(g, tree.dist, parent, 0)
+
+    # Arc flags built from PHAST answer queries exactly.
+    part = partition_graph(g, 4)
+    af = compute_arc_flags(g, part, method="phast")
+    got, _ = arcflags_query(af, 0, g.n - 1)
+    assert got == ref[g.n - 1]
+
+    # GPHAST produces identical labels with a plausible report.
+    gp = GphastEngine(ch)
+    res = gp.trees([0, 1])
+    assert np.array_equal(res.dist[0], ref)
+    assert res.report.per_tree_ms > 0
+
+    # The cost model accepts real sweep counts.
+    cm = CostModel(machine("M1-4"))
+    counts = phast_counts(engine.sweep)
+    assert cm.phast_single(counts) > 0
+
+
+def test_apsp_subset_consistency(road, road_ch):
+    """APSP rows from worker processes match direct computation."""
+    sources = list(range(0, road.n, 50))
+    rows = trees_per_core(road_ch, sources, num_workers=2, sources_per_sweep=4)
+    for s, row in zip(sources, rows):
+        assert np.array_equal(row, dijkstra(road, s, with_parents=False).dist)
+
+
+def test_metric_changes_hierarchy_depth():
+    """Section VIII-G: distance metric yields deeper hierarchies."""
+    from repro.graph import RoadNetworkParams, road_network
+
+    time_g = road_network(
+        RoadNetworkParams(rows=24, cols=24, metric="time", seed=2)
+    )
+    dist_g = road_network(
+        RoadNetworkParams(rows=24, cols=24, metric="distance", seed=2)
+    )
+    ch_time = contract_graph(time_g)
+    ch_dist = contract_graph(dist_g)
+    # Weaker hierarchy: at least as many levels and shortcuts.
+    assert ch_dist.num_levels >= ch_time.num_levels
+    assert ch_dist.num_shortcuts >= ch_time.num_shortcuts
+
+
+def test_query_after_layout_permutation(road, road_ch):
+    """Distances are layout-invariant end to end."""
+    perm = dfs_order(road)
+    g2 = road.permute(perm)
+    ch2 = contract_graph(g2)
+    e1 = PhastEngine(road_ch)
+    e2 = PhastEngine(ch2)
+    d1 = e1.tree(0).dist
+    d2 = e2.tree(int(perm[0])).dist
+    assert np.array_equal(d1, d2[perm])
+
+
+def test_unreachable_handling_through_stack():
+    from repro.graph import StaticGraph
+
+    g = StaticGraph(6, [0, 1, 2, 3, 4, 5], [1, 0, 3, 2, 5, 4], [1, 1, 2, 2, 3, 3])
+    ch = contract_graph(g)
+    engine = PhastEngine(ch)
+    t = engine.tree(0)
+    assert t.dist[1] == 1
+    assert all(t.dist[v] == INF for v in (2, 3, 4, 5))
+    q = ch_query(ch, 0, 4)
+    assert q.distance == INF

@@ -1,0 +1,103 @@
+"""Tests for isochrones and nearest-POI queries."""
+
+import numpy as np
+import pytest
+
+from repro.apps import NearestPoiIndex, Poi, isochrone
+from repro.graph import INF, path_graph
+from repro.sssp import dijkstra
+
+
+def test_isochrone_methods_agree(road, road_engine, rng):
+    full = dijkstra(road, 0, with_parents=False).dist
+    budget = int(np.median(full))
+    ph = isochrone(road, 0, budget, engine=road_engine, method="phast")
+    dj = isochrone(road, 0, budget, method="dijkstra")
+    assert np.array_equal(ph, dj)
+    assert np.array_equal(ph, np.flatnonzero(full <= budget))
+
+
+def test_isochrone_zero_budget(road, road_engine):
+    out = isochrone(road, 7, 0, engine=road_engine)
+    assert out.tolist() == [7]
+
+
+def test_isochrone_grows_with_budget(road, road_engine):
+    a = isochrone(road, 0, 100, engine=road_engine)
+    b = isochrone(road, 0, 1000, engine=road_engine)
+    assert set(a.tolist()) <= set(b.tolist())
+
+
+def test_isochrone_validation(road, road_engine):
+    with pytest.raises(ValueError):
+        isochrone(road, 0, -1, engine=road_engine)
+    with pytest.raises(ValueError):
+        isochrone(road, 0, 5, method="phast")  # engine missing
+    with pytest.raises(ValueError):
+        isochrone(road, 0, 5, method="bogus")
+
+
+def test_poi_index_matches_dijkstra(road, road_ch, rng):
+    pois = [Poi(int(v), f"poi{v}") for v in rng.integers(0, road.n, 10)]
+    index = NearestPoiIndex(road_ch, pois)
+    for s in rng.integers(0, road.n, 5):
+        s = int(s)
+        full = dijkstra(road, s, with_parents=False).dist
+        got = index.distances(s)
+        for poi, d in zip(pois, got):
+            assert d == full[poi.vertex]
+
+
+def test_poi_query_returns_closest(road, road_ch):
+    pois = [Poi(10, "a"), Poi(200, "b"), Poi(399, "c")]
+    index = NearestPoiIndex(road_ch, pois)
+    full = dijkstra(road, 0, with_parents=False).dist
+    results = index.query(0, k=3)
+    dists = [d for _, d in results]
+    assert dists == sorted(dists)
+    best_poi, best_d = results[0]
+    assert best_d == min(full[10], full[200], full[399])
+    assert full[best_poi.vertex] == best_d
+
+
+def test_poi_query_k_limits(road, road_ch):
+    index = NearestPoiIndex(road_ch, [Poi(5), Poi(9)])
+    assert len(index.query(0, k=1)) == 1
+    assert len(index.query(0, k=5)) == 2  # only two POIs exist
+    with pytest.raises(ValueError):
+        index.query(0, k=0)
+
+
+def test_poi_unreachable_omitted():
+    from repro.ch import contract_graph
+    from repro.graph import StaticGraph
+
+    g = StaticGraph(4, [0, 1, 2, 3], [1, 0, 3, 2], [1, 1, 1, 1])
+    ch = contract_graph(g)
+    index = NearestPoiIndex(ch, [Poi(1), Poi(3)])
+    results = index.query(0, k=2)
+    assert len(results) == 1
+    assert results[0][0].vertex == 1
+
+
+def test_poi_duplicate_vertices(road, road_ch):
+    """Two POIs on the same vertex both resolve."""
+    index = NearestPoiIndex(road_ch, [Poi(5, "x"), Poi(5, "y")])
+    d = index.distances(0)
+    assert d[0] == d[1]
+
+
+def test_poi_empty_rejected(road_ch):
+    with pytest.raises(ValueError):
+        NearestPoiIndex(road_ch, [])
+
+
+def test_poi_on_path_graph():
+    from repro.ch import contract_graph
+
+    g = path_graph(10, length=2)
+    ch = contract_graph(g)
+    index = NearestPoiIndex(ch, [Poi(0), Poi(9)])
+    results = index.query(2, k=2)
+    assert results[0][0].vertex == 0 and results[0][1] == 4
+    assert results[1][0].vertex == 9 and results[1][1] == 14

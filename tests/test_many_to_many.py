@@ -1,0 +1,57 @@
+"""Tests for bucket-based many-to-many distances."""
+
+import numpy as np
+import pytest
+
+from repro.core import RPhastEngine, many_to_many_buckets
+from repro.graph import INF
+from repro.sssp import dijkstra
+
+
+def test_matrix_matches_dijkstra(road, road_ch, rng):
+    S = rng.integers(0, road.n, 5)
+    T = rng.integers(0, road.n, 8)
+    M = many_to_many_buckets(road_ch, S, T)
+    for i, s in enumerate(S):
+        ref = dijkstra(road, int(s), with_parents=False).dist
+        assert np.array_equal(M[i], ref[T])
+
+
+def test_matches_rphast(road_ch, rng):
+    S = rng.integers(0, road_ch.n, 4)
+    T = rng.integers(0, road_ch.n, 6)
+    buckets = many_to_many_buckets(road_ch, S, T)
+    engine = RPhastEngine(road_ch, T)
+    rphast = engine.many_to_many(S)
+    col = np.searchsorted(engine.targets, T)
+    assert np.array_equal(buckets, rphast[:, col])
+
+
+def test_duplicates_and_diagonal(road_ch):
+    M = many_to_many_buckets(road_ch, [7, 7], [7, 9, 9])
+    assert M[0, 0] == 0 and M[1, 0] == 0
+    assert M[0, 1] == M[0, 2]
+    assert np.array_equal(M[0], M[1])
+
+
+def test_empty_sets(road_ch):
+    assert many_to_many_buckets(road_ch, [], [1]).shape == (0, 1)
+    assert many_to_many_buckets(road_ch, [1], []).shape == (1, 0)
+
+
+def test_out_of_range(road_ch):
+    with pytest.raises(ValueError):
+        many_to_many_buckets(road_ch, [road_ch.n], [0])
+    with pytest.raises(ValueError):
+        many_to_many_buckets(road_ch, [0], [-1])
+
+
+def test_unreachable_is_inf():
+    from repro.ch import contract_graph
+    from repro.graph import StaticGraph
+
+    g = StaticGraph(4, [0, 1, 2, 3], [1, 0, 3, 2], [1, 1, 1, 1])
+    ch = contract_graph(g)
+    M = many_to_many_buckets(ch, [0], [1, 2])
+    assert M[0, 0] == 1
+    assert M[0, 1] == INF

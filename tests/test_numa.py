@@ -1,0 +1,129 @@
+"""Tests for the NUMA topology model."""
+
+import pytest
+
+from repro.simulator import CostModel, WorkloadCounts, machine
+from repro.simulator.numa import NumaTopology, ThreadStream, waterfill
+
+EUROPE = WorkloadCounts(n=18_000_000, arcs=33_800_000, levels=140)
+
+
+# -- waterfilling ---------------------------------------------------------
+
+
+def test_waterfill_no_contention():
+    assert waterfill(100.0, [10.0, 20.0]) == [10.0, 20.0]
+
+
+def test_waterfill_equal_split():
+    assert waterfill(10.0, [50.0, 50.0]) == [5.0, 5.0]
+
+
+def test_waterfill_redistribution():
+    # The capped user's surplus goes to the hungry one.
+    alloc = waterfill(10.0, [2.0, 50.0])
+    assert alloc[0] == pytest.approx(2.0)
+    assert alloc[1] == pytest.approx(8.0)
+
+
+def test_waterfill_three_way():
+    alloc = waterfill(10.0, [2.0, 3.0, 50.0])
+    assert alloc == pytest.approx([2.0, 3.0, 5.0])
+
+
+def test_waterfill_empty_and_conservation():
+    assert waterfill(5.0, []) == []
+    alloc = waterfill(7.0, [3.0, 3.0, 3.0])
+    assert sum(alloc) == pytest.approx(7.0)
+
+
+# -- topology -----------------------------------------------------------------
+
+
+def topo(name: str) -> NumaTopology:
+    return NumaTopology.from_machine(machine(name))
+
+
+def test_from_machine_shapes():
+    t = topo("M4-12")
+    assert t.num_banks == 8
+    assert t.cores_per_bank == 6
+    assert t.total_cores == 48
+
+
+def test_bad_topology_rejected():
+    with pytest.raises(ValueError):
+        NumaTopology(0, 4, 1e9, 1e8)
+
+
+def test_pinned_placement_is_local():
+    t = topo("M4-12")
+    streams = t.placement(48, pinned=True)
+    assert all(not s.remote for s in streams)
+    banks = [s.home_bank for s in streams]
+    assert set(banks) == set(range(8))
+
+
+def test_unpinned_placement_mostly_remote():
+    t = topo("M4-12")
+    streams = t.placement(48, pinned=False)
+    assert all(s.data_bank == 0 for s in streams)
+    assert sum(s.remote for s in streams) > 24
+
+
+def test_allocation_remote_penalty():
+    t = NumaTopology(2, 1, 10.0, 10.0, remote_penalty=2.0)
+    local = t.allocate([ThreadStream(0, 0)])[0]
+    remote = t.allocate([ThreadStream(1, 0)])[0]
+    assert remote == pytest.approx(local / 2.0)
+
+
+def test_allocation_bank_sharing():
+    t = NumaTopology(1, 4, 8.0, 8.0)
+    streams = [ThreadStream(0, 0)] * 4
+    alloc = t.allocate(streams)
+    assert sum(alloc) == pytest.approx(8.0)
+    assert all(a == pytest.approx(2.0) for a in alloc)
+
+
+def _phast_inputs(name: str):
+    spec = machine(name)
+    cm = CostModel(spec)
+    bytes_tree = cm._phast_bytes_per_tree(EUROPE, 1)
+    cpu = cm._cpu_ms(cm._phast_cycles_per_tree(EUROPE, 1, sse=False))
+    return spec, cm, bytes_tree, cpu
+
+
+@pytest.mark.parametrize("name", ["M1-4", "M2-6", "M4-12"])
+def test_pinned_matches_closed_form(name):
+    """The structural model must reproduce the calibrated closed form."""
+    spec, cm, bytes_tree, cpu = _phast_inputs(name)
+    t = NumaTopology.from_machine(spec)
+    structural = t.per_tree_ms(bytes_tree, cpu, spec.cores, pinned=True)
+    closed = cm.phast_per_tree_parallel(EUROPE, spec.cores, pinned=True)
+    assert structural == pytest.approx(closed, rel=0.2)
+
+
+def test_unpinned_collapse_on_multi_socket():
+    spec, cm, bytes_tree, cpu = _phast_inputs("M4-12")
+    t = NumaTopology.from_machine(spec)
+    pin = t.per_tree_ms(bytes_tree, cpu, 48, pinned=True)
+    free = t.per_tree_ms(bytes_tree, cpu, 48, pinned=False)
+    assert free > 5 * pin  # paper: pinning essential on M4-12
+
+
+def test_pinning_neutral_on_single_socket():
+    spec, cm, bytes_tree, cpu = _phast_inputs("M1-4")
+    t = NumaTopology.from_machine(spec)
+    pin = t.per_tree_ms(bytes_tree, cpu, 4, pinned=True)
+    free = t.per_tree_ms(bytes_tree, cpu, 4, pinned=False)
+    assert free == pytest.approx(pin)
+
+
+def test_more_threads_never_slower_pinned():
+    spec, cm, bytes_tree, cpu = _phast_inputs("M2-6")
+    t = NumaTopology.from_machine(spec)
+    times = [
+        t.per_tree_ms(bytes_tree, cpu, c, pinned=True) for c in (1, 2, 6, 12)
+    ]
+    assert all(a >= b for a, b in zip(times, times[1:]))

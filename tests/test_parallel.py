@@ -1,0 +1,95 @@
+"""Tests for the parallel PHAST drivers."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PhastEngine,
+    block_boundaries,
+    tree_level_parallel,
+    trees_per_core,
+)
+from repro.sssp import dijkstra
+
+
+def test_block_boundaries_cover_range():
+    blocks = block_boundaries(10, 55, 4)
+    assert blocks[0][0] == 10 and blocks[-1][1] == 55
+    for (a, b), (c, d) in zip(blocks, blocks[1:]):
+        assert b == c
+        assert a < b
+
+
+def test_block_boundaries_more_blocks_than_items():
+    blocks = block_boundaries(0, 3, 10)
+    assert len(blocks) <= 3
+    assert blocks[0][0] == 0 and blocks[-1][1] == 3
+
+
+def test_block_boundaries_empty():
+    assert block_boundaries(5, 5, 4) == []
+
+
+@pytest.mark.parametrize("threads", [1, 2, 4])
+def test_level_parallel_matches(road, road_ch, threads):
+    engine = PhastEngine(road_ch)
+    ref = dijkstra(road, 17, with_parents=False).dist
+    out = tree_level_parallel(engine, 17, num_threads=threads, min_block=8)
+    assert np.array_equal(out, ref)
+
+
+def test_level_parallel_requires_reorder(road_ch):
+    engine = PhastEngine(road_ch, reorder=False)
+    with pytest.raises(ValueError):
+        tree_level_parallel(engine, 0)
+
+
+def test_trees_per_core_single_worker(road, road_ch):
+    sources = [0, 3, 9]
+    out = trees_per_core(road_ch, sources, num_workers=1)
+    for s, dist in zip(sources, out):
+        assert np.array_equal(dist, dijkstra(road, s, with_parents=False).dist)
+
+
+def test_trees_per_core_multi_worker(road, road_ch):
+    sources = list(range(0, 60, 7))
+    out = trees_per_core(road_ch, sources, num_workers=3)
+    for s, dist in zip(sources, out):
+        assert np.array_equal(dist, dijkstra(road, s, with_parents=False).dist)
+
+
+def test_trees_per_core_with_sweep_k(road, road_ch):
+    sources = list(range(0, 30, 3))
+    out = trees_per_core(road_ch, sources, num_workers=2, sources_per_sweep=4)
+    for s, dist in zip(sources, out):
+        assert np.array_equal(dist, dijkstra(road, s, with_parents=False).dist)
+
+
+def test_trees_per_core_reduce(road, road_ch):
+    from repro.graph import INF
+
+    def reducer(source, dist):
+        return int(dist[dist < INF].max())
+
+    sources = [0, 5]
+    out = trees_per_core(road_ch, sources, num_workers=2, reduce=reducer)
+    for s, got in zip(sources, out):
+        dist = dijkstra(road, s, with_parents=False).dist
+        assert got == int(dist[dist < INF].max())
+
+
+def test_trees_per_core_empty(road_ch):
+    assert trees_per_core(road_ch, []) == []
+
+
+def test_trees_per_core_more_workers_than_sources(road, road_ch):
+    out = trees_per_core(road_ch, [4], num_workers=8)
+    assert len(out) == 1
+    assert np.array_equal(out[0], dijkstra(road, 4, with_parents=False).dist)
+
+
+def test_trees_per_core_order_preserved(road, road_ch):
+    sources = [9, 1, 5, 3, 7]
+    out = trees_per_core(road_ch, sources, num_workers=2)
+    for s, dist in zip(sources, out):
+        assert dist[s] == 0

@@ -1,0 +1,174 @@
+"""Unit tests for the monotone bucket queues (Dial, multi-level)."""
+
+import numpy as np
+import pytest
+
+from repro.pq import DialQueue, MultiLevelBucketQueue
+
+
+def make_dial(n=64, c=100):
+    return DialQueue(n, c)
+
+
+def make_mlb(n=64, max_key=10_000_000, base=4):
+    return MultiLevelBucketQueue(n, max_key, base=base)
+
+
+@pytest.fixture(params=["dial", "mlb4", "mlb64"])
+def queue(request):
+    if request.param == "dial":
+        return make_dial(c=10_000)
+    base = int(request.param.removeprefix("mlb"))
+    return make_mlb(base=base)
+
+
+def test_empty(queue):
+    assert len(queue) == 0
+    with pytest.raises(IndexError):
+        queue.pop_min()
+
+
+def test_fifo_like_extraction(queue):
+    rng = np.random.default_rng(1)
+    keys = sorted(rng.integers(0, 5_000, size=50).tolist())
+    for i, k in enumerate(keys):
+        queue.insert(i, k)
+    out = [queue.pop_min()[1] for _ in range(50)]
+    assert out == keys
+
+
+def test_monotone_interleaving(queue):
+    queue.insert(0, 10)
+    item, key = queue.pop_min()
+    assert key == 10
+    # New keys may not go below the last minimum.
+    queue.insert(1, 10)
+    queue.insert(2, 15)
+    assert queue.pop_min() == (1, 10)
+    assert queue.pop_min() == (2, 15)
+
+
+def test_rejects_key_below_minimum(queue):
+    queue.insert(0, 100)
+    queue.pop_min()
+    with pytest.raises(ValueError):
+        queue.insert(1, 50)
+
+
+def test_decrease_key(queue):
+    queue.insert(0, 500)
+    queue.insert(1, 400)
+    queue.decrease_key(0, 300)
+    assert queue.pop_min() == (0, 300)
+    assert queue.pop_min() == (1, 400)
+
+
+def test_decrease_key_validations(queue):
+    queue.insert(0, 10)
+    with pytest.raises(ValueError):
+        queue.decrease_key(0, 11)
+    with pytest.raises(KeyError):
+        queue.decrease_key(5, 1)
+
+
+def test_key_of_and_contains(queue):
+    queue.insert(3, 77)
+    assert queue.contains(3)
+    assert queue.key_of(3) == 77
+    queue.pop_min()
+    assert not queue.contains(3)
+    with pytest.raises(KeyError):
+        queue.key_of(3)
+
+
+def test_many_decreases_same_item(queue):
+    queue.insert(0, 1000)
+    for k in (800, 600, 400, 200):
+        queue.decrease_key(0, k)
+    assert queue.pop_min() == (0, 200)
+    assert len(queue) == 0
+
+
+def test_dial_span_enforced():
+    q = DialQueue(8, max_arc_len=10)
+    q.insert(0, 0)
+    q.insert(1, 10)
+    with pytest.raises(ValueError):
+        q.insert(2, 11)  # beyond min + C
+    q.pop_min()  # min now 0 -> popped; cursor at 0
+    # After popping key 0, inserting key 10 is fine; key 11 only after
+    # the cursor advances.
+    assert q.pop_min() == (1, 10)
+    q.insert(3, 15)
+    assert q.pop_min() == (3, 15)
+
+
+def test_dial_zero_max_len():
+    q = DialQueue(4, max_arc_len=0)
+    q.insert(0, 0)
+    q.insert(1, 0)
+    assert {q.pop_min()[0], q.pop_min()[0]} == {0, 1}
+
+
+def test_mlb_max_key_enforced():
+    q = MultiLevelBucketQueue(4, max_key=100)
+    with pytest.raises(ValueError):
+        q.insert(0, 101)
+
+
+def test_mlb_bad_base():
+    with pytest.raises(ValueError):
+        MultiLevelBucketQueue(4, 100, base=3)
+    with pytest.raises(ValueError):
+        MultiLevelBucketQueue(4, 100, base=1)
+
+
+def test_mlb_power_boundary_crossing():
+    """Keys straddling a power-of-base boundary expand correctly."""
+    q = MultiLevelBucketQueue(8, max_key=1000, base=4)
+    q.insert(0, 15)  # 033 in base 4
+    q.insert(1, 16)  # 100 in base 4
+    q.insert(2, 17)
+    assert q.pop_min() == (0, 15)
+    assert q.pop_min() == (1, 16)
+    assert q.pop_min() == (2, 17)
+
+
+def test_mlb_stale_copies_discarded():
+    q = MultiLevelBucketQueue(4, max_key=1000, base=4)
+    q.insert(0, 900)
+    q.decrease_key(0, 500)
+    q.decrease_key(0, 100)
+    q.insert(1, 200)
+    assert q.pop_min() == (0, 100)
+    assert q.pop_min() == (1, 200)
+    assert len(q) == 0
+
+
+def test_bucket_queue_against_reference(queue):
+    """Randomized monotone workload cross-checked against a dict."""
+    rng = np.random.default_rng(7)
+    reference: dict[int, int] = {}
+    floor = 0
+    next_id = 0
+    for _ in range(400):
+        op = rng.integers(0, 3)
+        if op == 0 and next_id < 64 and len(reference) < 30:
+            key = floor + int(rng.integers(0, 2_000))
+            queue.insert(next_id, key)
+            reference[next_id] = key
+            next_id += 1
+        elif op == 1 and reference:
+            item = int(rng.choice(list(reference)))
+            new = int(rng.integers(floor, reference[item] + 1))
+            queue.decrease_key(item, new)
+            reference[item] = new
+        elif op == 2 and reference:
+            item, key = queue.pop_min()
+            assert key == min(reference.values())
+            assert reference.pop(item) == key
+            floor = key
+    while reference:
+        item, key = queue.pop_min()
+        assert key == min(reference.values())
+        assert reference.pop(item) == key

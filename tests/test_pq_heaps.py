@@ -1,0 +1,138 @@
+"""Unit tests for the binary and d-ary heaps."""
+
+import numpy as np
+import pytest
+
+from repro.pq import BinaryHeap, KHeap
+
+
+@pytest.fixture(params=["binary", "kheap2", "kheap4", "kheap8"])
+def heap(request):
+    n = 256
+    if request.param == "binary":
+        return BinaryHeap(n)
+    arity = int(request.param.removeprefix("kheap"))
+    return KHeap(n, arity=arity)
+
+
+def test_empty(heap):
+    assert len(heap) == 0
+    assert not heap
+    with pytest.raises(IndexError):
+        heap.pop_min()
+    with pytest.raises(IndexError):
+        heap.peek_min()
+
+
+def test_single_item(heap):
+    heap.insert(7, 42)
+    assert len(heap) == 1
+    assert heap.contains(7)
+    assert heap.key_of(7) == 42
+    assert heap.peek_min() == (7, 42)
+    assert heap.pop_min() == (7, 42)
+    assert not heap.contains(7)
+    assert len(heap) == 0
+
+
+def test_sorted_extraction(heap):
+    rng = np.random.default_rng(0)
+    keys = rng.integers(0, 1000, size=100)
+    for i, k in enumerate(keys):
+        heap.insert(i, int(k))
+    out = [heap.pop_min()[1] for _ in range(100)]
+    assert out == sorted(keys.tolist())
+
+
+def test_decrease_key_moves_up(heap):
+    for i in range(10):
+        heap.insert(i, 100 + i)
+    heap.decrease_key(9, 1)
+    assert heap.pop_min() == (9, 1)
+
+
+def test_decrease_key_same_value_ok(heap):
+    heap.insert(0, 5)
+    heap.decrease_key(0, 5)
+    assert heap.pop_min() == (0, 5)
+
+
+def test_decrease_key_rejects_increase(heap):
+    heap.insert(0, 5)
+    with pytest.raises(ValueError):
+        heap.decrease_key(0, 6)
+
+
+def test_decrease_key_missing_item(heap):
+    with pytest.raises(KeyError):
+        heap.decrease_key(3, 1)
+    with pytest.raises(KeyError):
+        heap.key_of(3)
+
+
+def test_double_insert_rejected(heap):
+    heap.insert(0, 1)
+    with pytest.raises(ValueError):
+        heap.insert(0, 2)
+
+
+def test_reinsert_after_pop(heap):
+    heap.insert(0, 1)
+    heap.pop_min()
+    heap.insert(0, 2)
+    assert heap.pop_min() == (0, 2)
+
+
+def test_clear(heap):
+    for i in range(5):
+        heap.insert(i, i)
+    heap.clear()
+    assert len(heap) == 0
+    assert not heap.contains(2)
+    heap.insert(2, 9)  # usable again
+    assert heap.pop_min() == (2, 9)
+
+
+def test_push_or_decrease(heap):
+    heap.push_or_decrease(1, 10)
+    heap.push_or_decrease(1, 4)
+    assert heap.pop_min() == (1, 4)
+
+
+def test_duplicate_keys(heap):
+    for i in range(20):
+        heap.insert(i, 7)
+    keys = [heap.pop_min()[1] for _ in range(20)]
+    assert keys == [7] * 20
+
+
+def test_kheap_rejects_bad_arity():
+    with pytest.raises(ValueError):
+        KHeap(10, arity=1)
+
+
+def test_interleaved_ops(heap):
+    """Mixed inserts/pops/decreases keep the min invariant."""
+    rng = np.random.default_rng(42)
+    reference: dict[int, int] = {}
+    for step in range(500):
+        op = rng.integers(0, 3)
+        if op == 0 and len(reference) < 200:
+            free = [i for i in range(256) if i not in reference]
+            item = int(rng.choice(free))
+            key = int(rng.integers(0, 10_000))
+            heap.insert(item, key)
+            reference[item] = key
+        elif op == 1 and reference:
+            item = int(rng.choice(list(reference)))
+            new = int(rng.integers(0, reference[item] + 1))
+            heap.decrease_key(item, new)
+            reference[item] = new
+        elif op == 2 and reference:
+            item, key = heap.pop_min()
+            assert key == min(reference.values())
+            assert reference.pop(item) == key
+    while reference:
+        item, key = heap.pop_min()
+        assert key == min(reference.values())
+        assert reference.pop(item) == key

@@ -1,0 +1,88 @@
+"""Property-based tests: every queue implements the same semantics.
+
+Hypothesis drives random monotone operation sequences against a
+dictionary reference; all four queues must agree with it exactly
+(ties may resolve to any minimal item, so only keys are compared).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pq import BinaryHeap, DialQueue, KHeap, MultiLevelBucketQueue
+
+N_ITEMS = 32
+MAX_KEY = 2_000
+
+
+def _make(name: str):
+    if name == "binary":
+        return BinaryHeap(N_ITEMS)
+    if name == "kheap":
+        return KHeap(N_ITEMS, arity=4)
+    if name == "dial":
+        return DialQueue(N_ITEMS, MAX_KEY)
+    if name == "mlb":
+        return MultiLevelBucketQueue(N_ITEMS, MAX_KEY * 2, base=8)
+    raise AssertionError(name)
+
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "decrease", "pop"]),
+        st.integers(0, N_ITEMS - 1),
+        st.integers(0, MAX_KEY),
+    ),
+    max_size=120,
+)
+
+
+@given(ops=ops_strategy, queue_name=st.sampled_from(["binary", "kheap", "dial", "mlb"]))
+@settings(max_examples=120, deadline=None)
+def test_queue_matches_reference(ops, queue_name):
+    q = _make(queue_name)
+    reference: dict[int, int] = {}
+    floor = 0  # monotone floor for bucket queues
+    popped: set[int] = set()
+    for op, item, raw_key in ops:
+        if op == "insert":
+            if item in reference:
+                continue
+            key = floor + raw_key % (MAX_KEY - floor + 1) if floor < MAX_KEY else floor
+            q.insert(item, key)
+            reference[item] = key
+        elif op == "decrease":
+            if item not in reference:
+                continue
+            lo, hi = floor, reference[item]
+            key = lo + raw_key % (hi - lo + 1)
+            q.decrease_key(item, key)
+            reference[item] = key
+        else:  # pop
+            if not reference:
+                continue
+            got_item, got_key = q.pop_min()
+            assert got_key == min(reference.values())
+            assert reference.pop(got_item) == got_key
+            floor = got_key
+            popped.add(got_item)
+    # Drain and compare the multiset of remaining keys.
+    drained = sorted(q.pop_min()[1] for _ in range(len(reference)))
+    assert drained == sorted(reference.values())
+    assert len(q) == 0
+
+
+@given(
+    keys=st.lists(st.integers(0, MAX_KEY), min_size=1, max_size=N_ITEMS, unique=False),
+    queue_name=st.sampled_from(["binary", "kheap", "dial", "mlb"]),
+)
+@settings(max_examples=80, deadline=None)
+def test_heapsort_property(keys, queue_name):
+    """Insert-all-then-pop-all sorts any key multiset."""
+    q = _make(queue_name)
+    for i, k in enumerate(keys[:N_ITEMS]):
+        q.insert(i, k)
+    out = [q.pop_min()[1] for _ in range(min(len(keys), N_ITEMS))]
+    assert out == sorted(keys[:N_ITEMS])

@@ -1,0 +1,120 @@
+"""Unit tests for vertex orderings (graph layouts)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    StaticGraph,
+    compose_permutations,
+    dfs_order,
+    grid_graph,
+    identity_order,
+    invert_permutation,
+    level_order,
+    path_graph,
+    random_order,
+)
+
+
+def _is_permutation(p: np.ndarray) -> bool:
+    return np.array_equal(np.sort(p), np.arange(p.size))
+
+
+def test_identity_order():
+    assert identity_order(4).tolist() == [0, 1, 2, 3]
+
+
+def test_random_order_is_permutation_and_seeded():
+    p1 = random_order(100, seed=1)
+    p2 = random_order(100, seed=1)
+    p3 = random_order(100, seed=2)
+    assert _is_permutation(p1)
+    assert np.array_equal(p1, p2)
+    assert not np.array_equal(p1, p3)
+
+
+def test_dfs_order_path_graph():
+    g = path_graph(5)
+    p = dfs_order(g, start=0)
+    # A path explored from one end is numbered in order.
+    assert p.tolist() == [0, 1, 2, 3, 4]
+
+
+def test_dfs_order_is_permutation_on_grid():
+    g = grid_graph(6, 7)
+    p = dfs_order(g)
+    assert _is_permutation(p)
+
+
+def test_dfs_order_covers_disconnected():
+    g = StaticGraph(4, [0], [1], [1])  # 2,3 isolated
+    p = dfs_order(g)
+    assert _is_permutation(p)
+
+
+def test_dfs_order_locality_beats_random():
+    """DFS layouts put arc endpoints closer together than random ones."""
+    g = grid_graph(16, 16)
+    dfs = dfs_order(g)
+    rnd = random_order(g.n, seed=0)
+    tails = g.arc_tails()
+
+    def mean_gap(p):
+        return float(np.abs(p[tails] - p[g.arc_head]).mean())
+
+    assert mean_gap(dfs) < mean_gap(rnd) / 2
+
+
+def test_dfs_start_out_of_range():
+    g = path_graph(3)
+    with pytest.raises(ValueError):
+        dfs_order(g, start=5)
+
+
+def test_level_order_puts_high_levels_first():
+    levels = np.array([0, 2, 1, 2, 0])
+    p = level_order(levels)
+    # Positions of the two level-2 vertices must be 0 and 1.
+    assert sorted([p[1], p[3]]) == [0, 1]
+    # Level-0 vertices occupy the last two positions.
+    assert sorted([p[0], p[4]]) == [3, 4]
+
+
+def test_level_order_tie_break_preserved():
+    levels = np.zeros(4, dtype=np.int64)
+    tie = np.array([3, 1, 0, 2])
+    p = level_order(levels, tie_break=tie)
+    # Sweep order must follow the tie-break key.
+    order = np.argsort(p)
+    assert tie[order].tolist() == [0, 1, 2, 3]
+
+
+def test_level_order_size_mismatch():
+    with pytest.raises(ValueError):
+        level_order(np.zeros(3), tie_break=np.zeros(2))
+
+
+def test_invert_permutation():
+    p = np.array([2, 0, 1])
+    inv = invert_permutation(p)
+    assert inv[p].tolist() == [0, 1, 2]
+
+
+def test_compose_permutations():
+    inner = np.array([1, 2, 0])
+    outer = np.array([2, 0, 1])
+    c = compose_permutations(outer, inner)
+    assert c.tolist() == [outer[1], outer[2], outer[0]]
+    with pytest.raises(ValueError):
+        compose_permutations(np.arange(2), np.arange(3))
+
+
+def test_permuted_graph_preserves_shortest_paths():
+    from repro.sssp import dijkstra
+
+    g = grid_graph(5, 5, length=3)
+    p = random_order(g.n, seed=9)
+    h = g.permute(p)
+    d_g = dijkstra(g, 0, with_parents=False).dist
+    d_h = dijkstra(h, int(p[0]), with_parents=False).dist
+    assert np.array_equal(d_g, d_h[p])

@@ -1,0 +1,93 @@
+"""Unit tests for the segmented-array helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import gather_ranges, repeat_per_segment, segment_minimum
+
+
+def test_gather_ranges_simple():
+    first = np.array([0, 2, 2, 5])
+    idx, owner = gather_ranges(first, np.array([0, 2]))
+    assert idx.tolist() == [0, 1, 2, 3, 4]
+    assert owner.tolist() == [0, 0, 1, 1, 1]
+
+
+def test_gather_ranges_empty_vertex():
+    first = np.array([0, 2, 2, 5])
+    idx, owner = gather_ranges(first, np.array([1]))
+    assert idx.size == 0 and owner.size == 0
+
+
+def test_gather_ranges_repeats_and_order():
+    first = np.array([0, 1, 3])
+    idx, owner = gather_ranges(first, np.array([1, 0, 1]))
+    assert idx.tolist() == [1, 2, 0, 1, 2]
+    assert owner.tolist() == [0, 0, 1, 2, 2]
+
+
+def test_repeat_per_segment():
+    first = np.array([0, 2, 2, 3])
+    out = repeat_per_segment(np.array([10, 20, 30]), first)
+    assert out.tolist() == [10, 10, 30]
+
+
+def test_segment_minimum_basic():
+    values = np.array([5, 3, 9, 1], dtype=np.int64)
+    boundaries = np.array([0, 2, 4])
+    out = segment_minimum(values, boundaries)
+    assert out.tolist() == [3, 1]
+
+
+def test_segment_minimum_empty_segments():
+    values = np.array([5, 3], dtype=np.int64)
+    boundaries = np.array([0, 0, 2, 2])
+    out = segment_minimum(values, boundaries)
+    assert out[0] == np.iinfo(np.int64).max
+    assert out[1] == 3
+    assert out[2] == np.iinfo(np.int64).max
+
+
+def test_segment_minimum_with_initial():
+    values = np.array([5, 3], dtype=np.int64)
+    boundaries = np.array([0, 1, 2])
+    initial = np.array([4, 10], dtype=np.int64)
+    out = segment_minimum(values, boundaries, initial=initial)
+    assert out.tolist() == [4, 3]
+
+
+def test_segment_minimum_all_empty():
+    values = np.zeros(0, dtype=np.int64)
+    boundaries = np.array([0, 0, 0])
+    initial = np.array([7, 8], dtype=np.int64)
+    out = segment_minimum(values, boundaries, initial=initial)
+    assert out.tolist() == [7, 8]
+
+
+def test_segment_minimum_2d():
+    values = np.array([[5, 1], [3, 2], [9, 0]], dtype=np.int64)
+    boundaries = np.array([0, 2, 3])
+    out = segment_minimum(values, boundaries)
+    assert out.tolist() == [[3, 1], [9, 0]]
+
+
+def test_segment_minimum_trailing_empty():
+    values = np.array([4], dtype=np.int64)
+    boundaries = np.array([0, 1, 1])
+    out = segment_minimum(values, boundaries)
+    assert out[0] == 4
+    assert out[1] == np.iinfo(np.int64).max
+
+
+def test_segment_minimum_matches_python_reference():
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        k = int(rng.integers(1, 12))
+        counts = rng.integers(0, 5, size=k)
+        boundaries = np.concatenate(([0], np.cumsum(counts)))
+        values = rng.integers(0, 100, size=int(boundaries[-1])).astype(np.int64)
+        out = segment_minimum(values, boundaries)
+        for i in range(k):
+            seg = values[boundaries[i] : boundaries[i + 1]]
+            expect = seg.min() if seg.size else np.iinfo(np.int64).max
+            assert out[i] == expect

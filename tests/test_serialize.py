@@ -1,0 +1,67 @@
+"""Tests for npz serialization of graphs and hierarchies."""
+
+import numpy as np
+import pytest
+
+from repro.core import PhastEngine
+from repro.graph import (
+    load_graph,
+    load_hierarchy,
+    save_graph,
+    save_hierarchy,
+)
+from repro.sssp import dijkstra
+
+
+def test_graph_roundtrip(road, tmp_path):
+    path = tmp_path / "g.npz"
+    save_graph(road, path)
+    assert load_graph(path) == road
+
+
+def test_empty_graph_roundtrip(tmp_path):
+    from repro.graph import StaticGraph
+
+    g = StaticGraph(3, [], [], [])
+    path = tmp_path / "empty.npz"
+    save_graph(g, path)
+    assert load_graph(path) == g
+
+
+def test_hierarchy_roundtrip(road, road_ch, tmp_path):
+    path = tmp_path / "ch.npz"
+    save_hierarchy(road_ch, path)
+    back = load_hierarchy(path)
+    back.validate()
+    assert np.array_equal(back.rank, road_ch.rank)
+    assert np.array_equal(back.level, road_ch.level)
+    assert back.upward == road_ch.upward
+    assert back.downward_rev == road_ch.downward_rev
+    assert np.array_equal(back.upward_via, road_ch.upward_via)
+    assert back.num_shortcuts == road_ch.num_shortcuts
+
+
+def test_loaded_hierarchy_is_queryable(road, road_ch, tmp_path):
+    path = tmp_path / "ch.npz"
+    save_hierarchy(road_ch, path)
+    engine = PhastEngine(load_hierarchy(path))
+    ref = dijkstra(road, 5, with_parents=False).dist
+    assert np.array_equal(engine.tree(5).dist, ref)
+
+
+def test_magic_rejects_wrong_kind(road, road_ch, tmp_path):
+    gpath = tmp_path / "g.npz"
+    cpath = tmp_path / "c.npz"
+    save_graph(road, gpath)
+    save_hierarchy(road_ch, cpath)
+    with pytest.raises(ValueError):
+        load_graph(cpath)
+    with pytest.raises(ValueError):
+        load_hierarchy(gpath)
+
+
+def test_garbage_file_rejected(tmp_path):
+    path = tmp_path / "x.npz"
+    np.savez(path, foo=np.arange(3))
+    with pytest.raises(ValueError):
+        load_graph(path)

@@ -1,0 +1,147 @@
+"""Unit tests for the Dijkstra and BFS baselines."""
+
+import numpy as np
+import pytest
+
+from repro.graph import INF, StaticGraph, grid_graph, path_graph, random_graph
+from repro.sssp import QUEUE_NAMES, bfs, bfs_tree_python, dijkstra, make_queue
+
+
+def test_path_graph_distances():
+    g = path_graph(5, length=3)
+    t = dijkstra(g, 0)
+    assert t.dist.tolist() == [0, 3, 6, 9, 12]
+    assert t.parent.tolist() == [-1, 0, 1, 2, 3]
+    assert t.scanned == 5
+
+
+def test_unreachable_vertices():
+    g = StaticGraph(4, [0, 1], [1, 0], [2, 2])  # 2, 3 isolated
+    t = dijkstra(g, 0)
+    assert t.dist[2] == INF and t.dist[3] == INF
+    assert t.reached().tolist() == [True, True, False, False]
+
+
+def test_all_queues_agree(road):
+    ref = dijkstra(road, 0, queue="binary").dist
+    for name in QUEUE_NAMES:
+        assert np.array_equal(dijkstra(road, 0, queue=name).dist, ref), name
+
+
+def test_queue_factory_rejects_unknown(road):
+    with pytest.raises(ValueError):
+        make_queue("splay", road)
+
+
+def test_queue_factory_callable(road):
+    from repro.pq import BinaryHeap
+
+    t = dijkstra(road, 0, queue=lambda g: BinaryHeap(g.n))
+    assert t.dist[0] == 0
+
+
+def test_source_out_of_range(road):
+    with pytest.raises(ValueError):
+        dijkstra(road, road.n)
+    with pytest.raises(ValueError):
+        bfs(road, -1)
+
+
+def test_zero_length_arcs():
+    g = StaticGraph(3, [0, 1], [1, 2], [0, 0])
+    t = dijkstra(g, 0)
+    assert t.dist.tolist() == [0, 0, 0]
+
+
+def test_target_early_exit(road):
+    full = dijkstra(road, 0)
+    t = dijkstra(road, 0, target=road.n - 1)
+    assert t.dist[road.n - 1] == full.dist[road.n - 1]
+    assert t.scanned <= full.scanned
+
+
+def test_dist_bound(road):
+    full = dijkstra(road, 0)
+    bound = int(np.median(full.dist))
+    t = dijkstra(road, 0, dist_bound=bound)
+    settled = t.dist <= bound
+    assert np.array_equal(t.dist[settled], full.dist[settled])
+    assert t.scanned < road.n
+
+
+def test_record_order(road):
+    t = dijkstra(road, 3, record_order=True)
+    order = t.extra["scan_order"]
+    assert order.size == t.scanned
+    assert order[0] == 3
+    # Settling order must be by non-decreasing distance.
+    assert np.all(np.diff(t.dist[order]) >= 0)
+
+
+def test_parent_tree_consistency(road):
+    t = dijkstra(road, 5)
+    for v in range(road.n):
+        if v == 5 or t.dist[v] >= INF:
+            continue
+        p = int(t.parent[v])
+        assert t.dist[p] + road.arc_length(p, v) == t.dist[v]
+
+
+def test_path_to(road):
+    t = dijkstra(road, 0)
+    path = t.path_to(road.n - 1)
+    assert path[0] == 0 and path[-1] == road.n - 1
+    total = sum(road.arc_length(a, b) for a, b in zip(path, path[1:]))
+    assert total == t.dist[road.n - 1]
+
+
+def test_path_to_errors():
+    g = StaticGraph(3, [0], [1], [1])
+    t = dijkstra(g, 0)
+    with pytest.raises(ValueError):
+        t.path_to(2)  # unreachable
+    t2 = dijkstra(g, 0, with_parents=False)
+    with pytest.raises(ValueError):
+        t2.path_to(1)
+
+
+# -- BFS ----------------------------------------------------------------
+
+
+def test_bfs_matches_reference(road):
+    for s in (0, 7, road.n - 1):
+        a = bfs(road, s)
+        b = bfs_tree_python(road, s)
+        assert np.array_equal(a.dist, b.dist)
+
+
+def test_bfs_on_grid():
+    g = grid_graph(4, 4)
+    t = bfs(g, 0)
+    # Manhattan distances on the grid.
+    expect = [(r + c) for r in range(4) for c in range(4)]
+    assert t.dist.tolist() == expect
+
+
+def test_bfs_parents_valid(road):
+    t = bfs(road, 2)
+    for v in range(road.n):
+        if v == 2 or t.dist[v] >= INF:
+            continue
+        p = int(t.parent[v])
+        assert p >= 0
+        assert t.dist[p] + 1 == t.dist[v]
+        assert road.has_arc(p, v)
+
+
+def test_bfs_unreachable():
+    g = StaticGraph(3, [0], [1], [1])
+    t = bfs(g, 0)
+    assert t.dist[2] == INF
+
+
+def test_bfs_matches_dijkstra_on_unit_lengths():
+    g = random_graph(80, 300, max_len=1, seed=5, connected=True)
+    # Force all lengths to exactly 1.
+    g = StaticGraph(80, g.arc_tails(), g.arc_head, np.ones(g.m, dtype=np.int64))
+    assert np.array_equal(bfs(g, 0).dist, dijkstra(g, 0).dist)

@@ -1,0 +1,140 @@
+"""Tests for stall-on-demand CH queries and the Fibonacci heap."""
+
+import numpy as np
+import pytest
+
+from repro.ch import ch_query
+from repro.pq import FibonacciHeap
+from repro.sssp import dijkstra
+
+
+# -- stall-on-demand -------------------------------------------------------
+
+
+def test_stall_distances_unchanged(road, road_ch, rng):
+    for _ in range(30):
+        s, t = (int(x) for x in rng.integers(0, road.n, 2))
+        plain = ch_query(road_ch, s, t)
+        stalled = ch_query(road_ch, s, t, stall=True)
+        assert plain.distance == stalled.distance
+
+
+def test_stall_never_scans_more(road_ch, rng):
+    total_plain = total_stall = 0
+    for _ in range(25):
+        s, t = (int(x) for x in rng.integers(0, road_ch.n, 2))
+        p = ch_query(road_ch, s, t)
+        q = ch_query(road_ch, s, t, stall=True)
+        total_plain += p.settled_forward + p.settled_backward
+        total_stall += q.settled_forward + q.settled_backward
+    assert total_stall <= total_plain
+
+
+def test_stall_with_path(road, road_ch):
+    q = ch_query(road_ch, 0, road.n - 1, stall=True, unpack=True)
+    ref = dijkstra(road, 0, with_parents=False).dist[road.n - 1]
+    assert q.distance == ref
+    total = sum(road.arc_length(a, b) for a, b in zip(q.path, q.path[1:]))
+    assert total == ref
+
+
+def test_stall_on_random_graph(sparse_random, sparse_random_ch, rng):
+    for _ in range(20):
+        s, t = (int(x) for x in rng.integers(0, sparse_random.n, 2))
+        ref = dijkstra(sparse_random, s, with_parents=False).dist[t]
+        assert ch_query(sparse_random_ch, s, t, stall=True).distance == ref
+
+
+# -- Fibonacci heap ------------------------------------------------------------
+
+
+def test_fib_empty():
+    h = FibonacciHeap(8)
+    assert len(h) == 0
+    with pytest.raises(IndexError):
+        h.pop_min()
+    with pytest.raises(IndexError):
+        h.peek_min()
+
+
+def test_fib_basic_ops():
+    h = FibonacciHeap(16)
+    h.insert(3, 30)
+    h.insert(5, 10)
+    h.insert(7, 20)
+    assert h.peek_min() == (5, 10)
+    assert h.key_of(7) == 20
+    assert h.contains(3)
+    assert h.pop_min() == (5, 10)
+    assert h.pop_min() == (7, 20)
+    assert h.pop_min() == (3, 30)
+    assert not h.contains(3)
+
+
+def test_fib_sorted_extraction():
+    rng = np.random.default_rng(1)
+    keys = rng.integers(0, 10_000, size=300)
+    h = FibonacciHeap(300)
+    for i, k in enumerate(keys):
+        h.insert(i, int(k))
+    out = [h.pop_min()[1] for _ in range(300)]
+    assert out == sorted(keys.tolist())
+
+
+def test_fib_decrease_key_and_cascade():
+    h = FibonacciHeap(64)
+    for i in range(32):
+        h.insert(i, 1000 + i)
+    # Force consolidation, then decrease deep nodes.
+    h.insert(40, 1)
+    assert h.pop_min() == (40, 1)
+    for i in range(31, 15, -1):
+        h.decrease_key(i, i)
+    out = [h.pop_min() for _ in range(16)]
+    assert [k for _, k in out] == list(range(16, 32))
+
+
+def test_fib_errors():
+    h = FibonacciHeap(8)
+    h.insert(0, 5)
+    with pytest.raises(ValueError):
+        h.insert(0, 1)
+    with pytest.raises(ValueError):
+        h.decrease_key(0, 9)
+    with pytest.raises(KeyError):
+        h.decrease_key(3, 1)
+    with pytest.raises(KeyError):
+        h.key_of(3)
+
+
+def test_fib_randomized_against_reference():
+    rng = np.random.default_rng(9)
+    h = FibonacciHeap(128)
+    ref: dict[int, int] = {}
+    for _ in range(3000):
+        op = rng.integers(0, 3)
+        if op == 0 and len(ref) < 100:
+            free = [i for i in range(128) if i not in ref]
+            item = int(rng.choice(free))
+            key = int(rng.integers(0, 50_000))
+            h.insert(item, key)
+            ref[item] = key
+        elif op == 1 and ref:
+            item = int(rng.choice(list(ref)))
+            new = int(rng.integers(0, ref[item] + 1))
+            h.decrease_key(item, new)
+            ref[item] = new
+        elif op == 2 and ref:
+            item, key = h.pop_min()
+            assert key == min(ref.values())
+            assert ref.pop(item) == key
+    while ref:
+        item, key = h.pop_min()
+        assert key == min(ref.values())
+        assert ref.pop(item) == key
+
+
+def test_fib_dijkstra_integration(road):
+    ref = dijkstra(road, 0, queue="binary", with_parents=False).dist
+    got = dijkstra(road, 0, queue="fibonacci", with_parents=False).dist
+    assert np.array_equal(ref, got)

@@ -1,0 +1,98 @@
+"""Tests for shortest-path-tree construction and traversal."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    parents_in_original_graph,
+    subtree_aggregate,
+    tree_depths,
+    validate_tree,
+)
+from repro.graph import INF, StaticGraph, path_graph
+from repro.sssp import dijkstra
+
+
+def test_parents_recovered_from_phast(road, road_engine):
+    t = road_engine.tree(21)
+    parent = parents_in_original_graph(road, t.dist, 21)
+    assert validate_tree(road, t.dist, parent, 21)
+
+
+def test_parents_match_distances(road):
+    t = dijkstra(road, 0, with_parents=False)
+    parent = parents_in_original_graph(road, t.dist, 0)
+    for v in range(road.n):
+        if v == 0 or t.dist[v] >= INF:
+            continue
+        p = int(parent[v])
+        assert t.dist[p] + road.arc_length(p, v) == t.dist[v]
+
+
+def test_parents_reject_zero_lengths():
+    g = StaticGraph(2, [0], [1], [0])
+    dist = np.array([0, 0], dtype=np.int64)
+    with pytest.raises(ValueError):
+        parents_in_original_graph(g, dist, 0)
+
+
+def test_parents_unreachable_stay_minus_one():
+    g = StaticGraph(3, [0], [1], [4])
+    dist = dijkstra(g, 0, with_parents=False).dist
+    parent = parents_in_original_graph(g, dist, 0)
+    assert parent[2] == -1
+
+
+def test_validate_tree_detects_bad_parent(road):
+    t = dijkstra(road, 0)
+    parent = t.parent.copy()
+    # Point some vertex at a wrong parent.
+    v = 17
+    parent[v] = (int(parent[v]) + 1) % road.n
+    assert not validate_tree(road, t.dist, parent, 0)
+
+
+def test_validate_tree_detects_missing_parent(road):
+    t = dijkstra(road, 0)
+    parent = t.parent.copy()
+    parent[11] = -1
+    assert not validate_tree(road, t.dist, parent, 0)
+
+
+def test_validate_tree_wrong_source_label(road):
+    t = dijkstra(road, 0)
+    dist = t.dist.copy()
+    dist[0] = 5
+    assert not validate_tree(road, dist, t.parent, 0)
+
+
+def test_tree_depths_path():
+    g = path_graph(5, length=2)
+    t = dijkstra(g, 0)
+    depth = tree_depths(t.parent, t.dist, 0)
+    assert depth.tolist() == [0, 1, 2, 3, 4]
+
+
+def test_tree_depths_unreachable():
+    g = StaticGraph(3, [0], [1], [1])
+    t = dijkstra(g, 0)
+    depth = tree_depths(t.parent, t.dist, 0)
+    assert depth[2] == -1
+
+
+def test_subtree_aggregate_path():
+    g = path_graph(4, length=1)
+    t = dijkstra(g, 0)
+    # Sum of ones = subtree sizes.
+    sizes = subtree_aggregate(t.parent, t.dist, np.ones(4), 0)
+    assert sizes.tolist() == [4, 3, 2, 1]
+
+
+def test_subtree_aggregate_star():
+    from repro.graph import star_graph
+
+    g = star_graph(5)
+    t = dijkstra(g, 0)
+    sizes = subtree_aggregate(t.parent, t.dist, np.ones(5), 0)
+    assert sizes[0] == 5
+    assert np.all(sizes[1:] == 1)

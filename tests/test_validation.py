@@ -1,0 +1,82 @@
+"""Unit tests for graph validation and component helpers."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    StaticGraph,
+    check_graph,
+    connected_components,
+    cycle_graph,
+    grid_graph,
+    is_strongly_connected,
+    largest_strongly_connected_component,
+    path_graph,
+)
+
+
+def test_check_graph_accepts_valid(small_road):
+    check_graph(small_road)
+
+
+def test_check_graph_rejects_corrupt():
+    g = grid_graph(2, 2)
+    g.first = g.first[:-1]
+    with pytest.raises(ValueError):
+        check_graph(g)
+
+
+def test_strongly_connected_cases():
+    assert is_strongly_connected(cycle_graph(5))
+    assert is_strongly_connected(StaticGraph(1, [], [], []))
+    # One-way path is not strongly connected.
+    one_way = StaticGraph(3, [0, 1], [1, 2], [1, 1])
+    assert not is_strongly_connected(one_way)
+
+
+def test_connected_components_counts():
+    # Two separate bidirected paths.
+    g = StaticGraph(6, [0, 1, 3, 4], [1, 0, 4, 3], [1, 1, 1, 1])
+    labels = connected_components(g)
+    assert labels[0] == labels[1]
+    assert labels[3] == labels[4]
+    assert labels[0] != labels[3]
+    # Vertices 2 and 5 are isolated components.
+    assert len(set(labels.tolist())) == 4
+
+
+def test_largest_scc_on_connected(small_road):
+    sub, keep = largest_strongly_connected_component(small_road)
+    assert sub.n == small_road.n
+    assert np.array_equal(np.sort(keep), np.arange(small_road.n))
+
+
+def test_largest_scc_strips_appendage():
+    # Cycle 0-1-2 plus a one-way tail 2 -> 3.
+    g = StaticGraph(4, [0, 1, 2, 2], [1, 2, 0, 3], [1, 1, 1, 1])
+    sub, keep = largest_strongly_connected_component(g)
+    assert sub.n == 3
+    assert 3 not in keep.tolist()
+    assert is_strongly_connected(sub)
+
+
+def test_largest_scc_two_components():
+    # Two cycles of sizes 3 and 2: keep the bigger one.
+    g = StaticGraph(
+        5, [0, 1, 2, 3, 4], [1, 2, 0, 4, 3], [1, 1, 1, 1, 1]
+    )
+    sub, keep = largest_strongly_connected_component(g)
+    assert sub.n == 3
+    assert sorted(keep.tolist()) == [0, 1, 2]
+
+
+def test_largest_scc_path_graph_bidirected():
+    g = path_graph(10)
+    sub, keep = largest_strongly_connected_component(g)
+    assert sub.n == 10
+
+
+def test_largest_scc_empty():
+    g = StaticGraph(0, [], [], [])
+    sub, keep = largest_strongly_connected_component(g)
+    assert sub.n == 0 and keep.size == 0
