@@ -1,0 +1,140 @@
+"""Preprocessing throughput — sequential vs batched contraction.
+
+The paper treats CH preprocessing as an offline cost (Section VIII-A
+reports ~hours for Europe with the tuned priority function).  This
+bench tracks the reproduction's two contraction engines against each
+other on Europe-like time-metric networks:
+
+* ``lazy`` — the one-vertex-at-a-time reference contractor;
+* ``batched`` — the vectorized independent-set engine
+  (:mod:`repro.ch.batched`).
+
+For each instance size it reports wall-clock, throughput
+(vertices/second), shortcut count, round count and peak round size,
+and writes the whole record to ``BENCH_preprocessing.json`` next to
+this file.  The sequential engine is skipped beyond
+``SEQUENTIAL_LIMIT`` vertices (it would take tens of minutes there —
+the gap this bench exists to document); the skip is recorded in the
+JSON rather than silently dropped.
+
+``REPRO_BENCH_PREP_SIZES`` overrides the vertex-count list (comma
+separated), e.g. ``REPRO_BENCH_PREP_SIZES=4000`` for a CI smoke run.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from pathlib import Path
+
+from common import fmt, print_table
+from repro.ch import CHParams, contract_graph
+from repro.graph import europe_like
+from repro.utils import bulk_compute
+
+#: Target vertex counts; europe_like(scale) has scale² vertices.
+DEFAULT_SIZES = (4_000, 20_000, 100_000)
+
+#: Largest instance the lazy sequential contractor is asked to run.
+SEQUENTIAL_LIMIT = 25_000
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_preprocessing.json"
+
+
+def _sizes() -> tuple[int, ...]:
+    env = os.environ.get("REPRO_BENCH_PREP_SIZES")
+    if not env:
+        return DEFAULT_SIZES
+    return tuple(int(x) for x in env.split(",") if x.strip())
+
+
+def _measure(graph, strategy: str) -> dict:
+    params = CHParams(strategy=strategy)
+    start = time.perf_counter()
+    with bulk_compute():
+        ch = contract_graph(graph, params)
+    seconds = time.perf_counter() - start
+    stats = ch.preprocessing_stats
+    entry = {
+        "strategy": strategy,
+        "n": int(graph.n),
+        "m": int(graph.m),
+        "seconds": round(seconds, 3),
+        "vertices_per_sec": round(graph.n / seconds, 1) if seconds else None,
+        "shortcuts": int(ch.num_shortcuts),
+        "levels": int(ch.num_levels),
+        "witness_searches": int(stats.get("witness_searches", 0)),
+    }
+    if strategy == "batched":
+        entry["rounds"] = int(stats.get("rounds", 0))
+        entry["peak_batch"] = int(stats.get("peak_batch", 0))
+        entry["mean_batch"] = round(float(stats.get("mean_batch", 0.0)), 1)
+        entry["rebuilds"] = int(stats.get("rebuilds", 0))
+    return entry
+
+
+def run(quiet: bool = False) -> dict:
+    record: dict = {
+        "bench": "preprocessing",
+        "metric": "europe-like, time metric",
+        "sequential_limit": SEQUENTIAL_LIMIT,
+        "cpus": os.cpu_count(),
+        "entries": [],
+        "notes": [],
+    }
+    rows = []
+    for target in _sizes():
+        scale = max(2, round(math.sqrt(target)))
+        graph = europe_like(scale=scale, metric="time", seed=0)
+        batched = _measure(graph, "batched")
+        record["entries"].append(batched)
+        if graph.n <= SEQUENTIAL_LIMIT:
+            seq = _measure(graph, "lazy")
+            record["entries"].append(seq)
+            speedup = seq["seconds"] / batched["seconds"]
+            ratio = batched["shortcuts"] / seq["shortcuts"]
+            seq_cell = f"{fmt(seq['seconds'])}s"
+            speed_cell = f"{fmt(speedup)}x"
+            ratio_cell = fmt(ratio, 3)
+        else:
+            record["notes"].append(
+                f"sequential skipped at n={graph.n} "
+                f"(> {SEQUENTIAL_LIMIT} vertices; would run for tens of "
+                "minutes)"
+            )
+            seq_cell = speed_cell = ratio_cell = "-"
+        rows.append([
+            graph.n,
+            f"{fmt(batched['seconds'])}s",
+            fmt(batched["vertices_per_sec"], 0),
+            batched["shortcuts"],
+            batched["peak_batch"],
+            batched["rounds"],
+            seq_cell,
+            speed_cell,
+            ratio_cell,
+        ])
+    if not quiet:
+        print_table(
+            "CH preprocessing: batched independent-set engine vs "
+            "lazy sequential",
+            [
+                "n", "batched", "vert/s", "shortcuts", "peak round",
+                "rounds", "sequential", "speedup", "sc ratio",
+            ],
+            rows,
+        )
+        for note in record["notes"]:
+            print(f"note: {note}")
+    with open(OUTPUT, "w") as f:
+        json.dump(record, f, indent=2)
+        f.write("\n")
+    if not quiet:
+        print(f"wrote {OUTPUT}")
+    return record
+
+
+if __name__ == "__main__":
+    run()

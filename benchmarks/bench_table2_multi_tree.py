@@ -23,7 +23,7 @@ from common import (
     random_sources,
     time_ms,
 )
-from repro.core import trees_per_core
+from repro.core import resolve_workers, trees_per_core
 from repro.simulator import CostModel, machine
 
 KS = (4, 8, 16)
@@ -99,7 +99,15 @@ def run(quiet: bool = False):
             ["sources/sweep", "1 worker", "2 workers", "4 workers"],
             rows,
         )
-        if (os.cpu_count() or 1) < 4:
+        _, fell_back = resolve_workers(max(CORES))
+        if fell_back:
+            print(
+                f"note: host has {os.cpu_count()} CPU(s) — multi-worker "
+                "requests fell back to the serial engine (no process "
+                "pool), so the worker columns are serial measurements; "
+                "see the modeled table for the multi-core landscape"
+            )
+        elif (os.cpu_count() or 1) < 4:
             print(
                 f"note: host has {os.cpu_count()} CPU(s) — worker columns "
                 "cannot show real parallel speedup here; see the modeled "

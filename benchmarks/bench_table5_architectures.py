@@ -25,7 +25,7 @@ from common import (
     random_sources,
     time_ms,
 )
-from repro.core import trees_per_core
+from repro.core import resolve_workers, trees_per_core
 from repro.simulator import MACHINES, CostModel, machine
 
 ORDER = ("M2-1", "M2-4", "M4-12", "M1-4", "M2-6")
@@ -127,6 +127,12 @@ def run(quiet: bool = False):
         lambda: trees_per_core(inst.ch, sources, num_workers=cpus, reduce=_drop),
         repeats=2,
     )
+    _, fell_back = resolve_workers(cpus)
+    if not quiet and fell_back:
+        print(
+            f"note: single-CPU host — the {cpus}-worker row fell back to "
+            "the serial engine, so both rows measure the same serial path"
+        )
     if not quiet:
         print_table(
             f"host sanity check ({len(sources)} trees, n={inst.graph.n}, "

@@ -1,7 +1,12 @@
 """Contraction hierarchies: preprocessing, queries, unpacking."""
 
+from .batched import contract_graph_batched
 from .contraction import CHParams, contract_graph
-from .hierarchy import ContractionHierarchy, build_csr_with_payload
+from .hierarchy import (
+    ContractionHierarchy,
+    assemble_hierarchy,
+    build_csr_with_payload,
+)
 from .query import (
     CHQueryResult,
     UpwardSearchSpace,
@@ -13,7 +18,9 @@ from .query import (
 __all__ = [
     "CHParams",
     "contract_graph",
+    "contract_graph_batched",
     "ContractionHierarchy",
+    "assemble_hierarchy",
     "build_csr_with_payload",
     "CHQueryResult",
     "UpwardSearchSpace",

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..graph.csr import StaticGraph
-from .hierarchy import ContractionHierarchy, build_csr_with_payload
+from .hierarchy import ContractionHierarchy, assemble_hierarchy
 from .witness import witness_search
 
 __all__ = ["CHParams", "contract_graph"]
@@ -56,6 +56,14 @@ class CHParams:
         paper's scheme, default).  ``False`` relies purely on the
         on-pop lazy re-check: ~3x fewer priority evaluations at the
         cost of ~10% more shortcuts — a good trade for big instances.
+    strategy:
+        ``"lazy"`` (default) pops one vertex at a time off a heap — the
+        reference ablation.  ``"batched"`` contracts whole independent
+        sets per round with vectorized witness searches
+        (:mod:`repro.ch.batched`) — the scalable path.
+    rebuild_every:
+        Batched strategy only: recompact the dynamic adjacency for
+        locality every this many rounds.
     """
 
     ed_weight: int = 2
@@ -70,6 +78,8 @@ class CHParams:
     )
     witness_max_settled: int | None = None
     neighbor_updates: bool = True
+    strategy: str = "lazy"
+    rebuild_every: int = 4
 
 
 @dataclass
@@ -239,8 +249,18 @@ def contract_graph(
     Returns a :class:`~repro.ch.hierarchy.ContractionHierarchy` whose
     upward and downward graphs cover all original arcs plus shortcuts.
     Every vertex is contracted, so the hierarchy is total.
+
+    ``params.strategy`` selects the engine: ``"lazy"`` is the scalar
+    one-vertex-at-a-time reference, ``"batched"`` the vectorized
+    independent-set pipeline of :mod:`repro.ch.batched`.
     """
     params = params or CHParams()
+    if params.strategy == "batched":
+        from .batched import contract_graph_batched
+
+        return contract_graph_batched(graph, params)
+    if params.strategy != "lazy":
+        raise ValueError(f"unknown contraction strategy {params.strategy!r}")
     start = time.perf_counter()
     state = _Contractor(graph, params)
     n = graph.n
@@ -273,59 +293,23 @@ def contract_graph(
 
 
 def _assemble(graph: StaticGraph, state: _Contractor) -> ContractionHierarchy:
-    """Split original arcs + shortcuts into upward/downward graphs."""
-    n = graph.n
-    rank = state.rank
-    orig_tails = graph.arc_tails()
-    sc_tails = np.array([s.tail for s in state.shortcuts], dtype=np.int64)
-    sc_heads = np.array([s.head for s in state.shortcuts], dtype=np.int64)
-    sc_lens = np.array([s.length for s in state.shortcuts], dtype=np.int64)
-    sc_vias = np.array([s.via for s in state.shortcuts], dtype=np.int64)
-
-    tails = np.concatenate([orig_tails, sc_tails]) if sc_tails.size else orig_tails
-    heads = (
-        np.concatenate([graph.arc_head, sc_heads]) if sc_heads.size else graph.arc_head
-    )
-    lens = np.concatenate([graph.arc_len, sc_lens]) if sc_lens.size else graph.arc_len
-    vias = np.concatenate(
-        [np.full(graph.m, -1, dtype=np.int64), sc_vias]
-    ) if sc_vias.size else np.full(graph.m, -1, dtype=np.int64)
-
-    # Self loops can never be upward or downward; drop them.
-    proper = tails != heads
-    tails, heads, lens, vias = tails[proper], heads[proper], lens[proper], vias[proper]
-
-    up_mask = rank[tails] < rank[heads]
-    upward, upward_via = build_csr_with_payload(
-        n, tails[up_mask], heads[up_mask], lens[up_mask], vias[up_mask]
-    )
-    down_mask = ~up_mask
-    # Store the downward graph reversed: adjacency by head (the
-    # lower-ranked endpoint), listing tails.
-    downward_rev, downward_via = build_csr_with_payload(
-        n,
-        heads[down_mask],
-        tails[down_mask],
-        lens[down_mask],
-        vias[down_mask],
-    )
+    """Hand the run's outputs to the shared hierarchy assembly."""
     stats = {
+        "strategy": "lazy",
         "witness_searches": state.stats.witness_searches,
         "shortcuts_added": state.stats.shortcuts_added,
         "priority_evaluations": state.stats.priority_evaluations,
         "lazy_requeues": state.stats.lazy_requeues,
         "seconds": state.stats.seconds,
-        "upward_arcs": upward.m,
-        "downward_arcs": downward_rev.m,
     }
-    return ContractionHierarchy(
-        n=n,
-        rank=rank,
-        level=state.level,
-        upward=upward,
-        upward_via=upward_via,
-        downward_rev=downward_rev,
-        downward_via=downward_via,
+    return assemble_hierarchy(
+        graph,
+        state.rank,
+        state.level,
+        np.array([s.tail for s in state.shortcuts], dtype=np.int64),
+        np.array([s.head for s in state.shortcuts], dtype=np.int64),
+        np.array([s.length for s in state.shortcuts], dtype=np.int64),
+        np.array([s.via for s in state.shortcuts], dtype=np.int64),
         num_shortcuts=len(state.shortcuts),
-        preprocessing_stats=stats,
+        stats=stats,
     )

@@ -21,7 +21,11 @@ import numpy as np
 
 from ..graph.csr import StaticGraph
 
-__all__ = ["ContractionHierarchy", "build_csr_with_payload"]
+__all__ = [
+    "ContractionHierarchy",
+    "assemble_hierarchy",
+    "build_csr_with_payload",
+]
 
 
 def build_csr_with_payload(
@@ -63,6 +67,71 @@ def build_csr_with_payload(
     # that, so payload order matches the graph's arc order.
     graph = StaticGraph(n, tails, heads, lens)
     return graph, payload
+
+
+def assemble_hierarchy(
+    graph: StaticGraph,
+    rank: np.ndarray,
+    level: np.ndarray,
+    sc_tails: np.ndarray,
+    sc_heads: np.ndarray,
+    sc_lens: np.ndarray,
+    sc_vias: np.ndarray,
+    *,
+    num_shortcuts: int,
+    stats: dict,
+) -> "ContractionHierarchy":
+    """Split original arcs + shortcuts into the upward/downward graphs.
+
+    Shared by every contraction strategy: given the contraction order
+    (``rank``), the PHAST levels and the shortcut arc arrays, build
+    ``G↑`` and the reversed ``G↓`` with their ``via`` payloads and wrap
+    everything into a :class:`ContractionHierarchy`.  ``stats`` is
+    augmented with the final arc counts.
+    """
+    n = graph.n
+    orig_tails = graph.arc_tails()
+    tails = np.concatenate([orig_tails, sc_tails]) if sc_tails.size else orig_tails
+    heads = (
+        np.concatenate([graph.arc_head, sc_heads]) if sc_heads.size else graph.arc_head
+    )
+    lens = np.concatenate([graph.arc_len, sc_lens]) if sc_lens.size else graph.arc_len
+    vias = np.concatenate(
+        [np.full(graph.m, -1, dtype=np.int64), sc_vias]
+    ) if sc_vias.size else np.full(graph.m, -1, dtype=np.int64)
+
+    # Self loops can never be upward or downward; drop them.
+    proper = tails != heads
+    tails, heads, lens, vias = tails[proper], heads[proper], lens[proper], vias[proper]
+
+    up_mask = rank[tails] < rank[heads]
+    upward, upward_via = build_csr_with_payload(
+        n, tails[up_mask], heads[up_mask], lens[up_mask], vias[up_mask]
+    )
+    down_mask = ~up_mask
+    # Store the downward graph reversed: adjacency by head (the
+    # lower-ranked endpoint), listing tails.
+    downward_rev, downward_via = build_csr_with_payload(
+        n,
+        heads[down_mask],
+        tails[down_mask],
+        lens[down_mask],
+        vias[down_mask],
+    )
+    stats = dict(stats)
+    stats["upward_arcs"] = upward.m
+    stats["downward_arcs"] = downward_rev.m
+    return ContractionHierarchy(
+        n=n,
+        rank=rank,
+        level=level,
+        upward=upward,
+        upward_via=upward_via,
+        downward_rev=downward_rev,
+        downward_via=downward_via,
+        num_shortcuts=num_shortcuts,
+        preprocessing_stats=stats,
+    )
 
 
 @dataclass

@@ -1,0 +1,179 @@
+"""Batched, vectorized witness search.
+
+The sequential contractor runs one hop-limited Dijkstra per
+``(in-neighbour, vertex)`` pair — hundreds of thousands of tiny
+heapq/dict searches.  The batched contractor replaces each round's
+searches with **one hop-synchronous multi-source relaxation** over the
+flat arrays of :class:`~repro.graph.dynamic.DynamicAdjacency`:
+
+* every search is an *instance* ``i`` with a source vertex, a distance
+  budget (the largest candidate-shortcut length it must disprove) and
+  an optional per-instance excluded vertex;
+* labels live in a single sorted map keyed ``instance * n + vertex``;
+* each hop gathers the out-arcs of every frontier entry at once,
+  prunes (over budget, excluded, retired), reduces duplicate keys to
+  their minimum, and merges improvements back into the label map.
+
+Hop-limited relaxation is not label-setting in the hop dimension (a
+longer-but-fewer-hops path may reach further); like the scalar search
+we accept that some within-limit witnesses are missed — that only adds
+redundant shortcuts, never breaks correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BatchWitnessResult", "batched_witness_search"]
+
+#: Hard ceiling on relaxation hops when the schedule says "unlimited".
+#: Budget pruning makes deep searches rare; the cap only guards against
+#: pathological zero-length-cycle instances.
+MAX_HOPS_UNLIMITED = 64
+
+
+@dataclass
+class BatchWitnessResult:
+    """Sorted label map of one batched search.
+
+    ``keys`` holds ``instance * n + vertex`` sorted ascending; ``dists``
+    the matching best distances.  ``lookup`` resolves target queries.
+    """
+
+    n: int
+    keys: np.ndarray
+    dists: np.ndarray
+    hops_run: int
+    labels_settled: int
+
+    def lookup(self, instances: np.ndarray, vertices: np.ndarray) -> np.ndarray:
+        """Best distance per ``(instance, vertex)`` query (-1 = unreached)."""
+        q = instances.astype(np.int64) * self.n + vertices
+        idx = np.searchsorted(self.keys, q)
+        idx_c = np.minimum(idx, max(self.keys.size - 1, 0))
+        out = np.full(q.size, -1, dtype=np.int64)
+        if self.keys.size:
+            hit = self.keys[idx_c] == q
+            out[hit] = self.dists[idx_c[hit]]
+        return out
+
+
+def _dedup_min_keys(
+    keys: np.ndarray, dists: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Keep the minimum distance per key; result sorted by key."""
+    order = np.lexsort((dists, keys))
+    keys, dists = keys[order], dists[order]
+    keep = np.empty(keys.size, dtype=bool)
+    keep[0] = True
+    keep[1:] = keys[1:] != keys[:-1]
+    return keys[keep], dists[keep]
+
+
+def batched_witness_search(
+    adjacency,
+    sources: np.ndarray,
+    budgets: np.ndarray,
+    *,
+    excluded_vertex: np.ndarray | None = None,
+    excluded_mask: np.ndarray | None = None,
+    hop_limit: int | None,
+    label_cap: int | None = None,
+) -> BatchWitnessResult:
+    """Run all witness searches of one round as one vectorized sweep.
+
+    Parameters
+    ----------
+    adjacency:
+        A :class:`~repro.graph.dynamic.DynamicAdjacency` (anything with
+        ``n`` and ``raw_out_arcs_of``).
+    sources:
+        Source vertex per instance.
+    budgets:
+        Per-instance distance budget; labels above it are pruned (the
+        search only needs to disprove candidates up to this length).
+    excluded_vertex:
+        Optional per-instance vertex never traversed (the vertex whose
+        contraction instance ``i`` simulates).
+    excluded_mask:
+        Optional boolean mask of vertices no instance may traverse
+        (the whole independent set during the contraction pass).
+    hop_limit:
+        Maximum arcs per witness path; ``None`` relaxes until no label
+        improves (bounded by budget pruning and a safety cap).
+    label_cap:
+        Optional per-instance cap on settled labels: instances holding
+        more stop expanding (the ``witness_max_settled`` safety valve).
+
+    Returns
+    -------
+    :class:`BatchWitnessResult` with distances from each instance's
+    source, within budget, avoiding the excluded vertices.
+    """
+    n = adjacency.n
+    num = int(sources.size)
+    if num == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return BatchWitnessResult(n, empty, empty, 0, 0)
+    sources = sources.astype(np.int64)
+    budgets = budgets.astype(np.int64)
+
+    best_keys = np.sort(np.arange(num, dtype=np.int64) * n + sources)
+    best_dists = np.zeros(num, dtype=np.int64)
+    # Source labels are distance 0 and keys are unique per instance, so
+    # the initial frontier is the initial map itself.
+    f_inst = np.arange(num, dtype=np.int64)
+    f_vert = sources.copy()
+    f_dist = np.zeros(num, dtype=np.int64)
+    if label_cap is not None:
+        label_count = np.ones(num, dtype=np.int64)
+
+    max_hops = hop_limit if hop_limit is not None else MAX_HOPS_UNLIMITED
+    hops_run = 0
+    while f_inst.size and hops_run < max_hops:
+        hops_run += 1
+        owner, head, length, _hops = adjacency.raw_out_arcs_of(f_vert)
+        if not owner.size:
+            break
+        c_inst = f_inst[owner]
+        c_dist = f_dist[owner] + length
+        keep = c_dist <= budgets[c_inst]
+        if excluded_vertex is not None:
+            keep &= head != excluded_vertex[c_inst]
+        if excluded_mask is not None:
+            keep &= ~excluded_mask[head]
+        if not keep.any():
+            break
+        c_inst, c_dist, head = c_inst[keep], c_dist[keep], head[keep]
+        c_keys, c_dists = _dedup_min_keys(c_inst * n + head, c_dist)
+
+        # Merge into the sorted label map: in-place improvements plus an
+        # ordered insert of brand-new keys.
+        pos = np.searchsorted(best_keys, c_keys)
+        pos_c = np.minimum(pos, best_keys.size - 1)
+        match = best_keys[pos_c] == c_keys
+        improved = match & (c_dists < best_dists[pos_c])
+        fresh = ~match
+        best_dists[pos_c[improved]] = c_dists[improved]
+        if label_cap is not None and fresh.any():
+            # Instances at their label budget stop acquiring vertices.
+            fi = c_keys[fresh] // n
+            allowed = label_count[fi] < label_cap
+            sel = np.flatnonzero(fresh)[allowed]
+            fresh = np.zeros_like(fresh)
+            fresh[sel] = True
+            np.add.at(label_count, fi[allowed], 1)
+        if fresh.any():
+            best_keys = np.insert(best_keys, pos[fresh], c_keys[fresh])
+            best_dists = np.insert(best_dists, pos[fresh], c_dists[fresh])
+        # Next frontier: every label that changed this hop.
+        nf_keys = np.concatenate([c_keys[improved], c_keys[fresh]])
+        nf_dists = np.concatenate([c_dists[improved], c_dists[fresh]])
+        f_inst = nf_keys // n
+        f_vert = nf_keys - f_inst * n
+        f_dist = nf_dists
+    return BatchWitnessResult(
+        n, best_keys, best_dists, hops_run, int(best_keys.size)
+    )

@@ -60,17 +60,17 @@ def _cmd_convert(args: argparse.Namespace) -> int:
 
 
 def _cmd_preprocess(args: argparse.Namespace) -> int:
-    from .ch import contract_graph
+    from .ch import CHParams, contract_graph
     from .graph import save_hierarchy
 
     graph = _load_graph(args.graph)
     start = time.perf_counter()
-    ch = contract_graph(graph)
+    ch = contract_graph(graph, CHParams(strategy=args.strategy))
     elapsed = time.perf_counter() - start
     save_hierarchy(ch, args.output)
     print(
         f"{args.output}: {ch.num_shortcuts} shortcuts, "
-        f"{ch.num_levels} levels, {elapsed:.1f}s"
+        f"{ch.num_levels} levels, {elapsed:.1f}s ({args.strategy})"
     )
     return 0
 
@@ -166,6 +166,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("preprocess", help="build the contraction hierarchy")
     p.add_argument("graph")
     p.add_argument("-o", "--output", required=True)
+    p.add_argument(
+        "--strategy",
+        choices=("lazy", "batched"),
+        default="batched",
+        help="contraction engine: vectorized independent-set rounds "
+        "(batched, default) or the one-vertex-at-a-time reference (lazy)",
+    )
     p.set_defaults(func=_cmd_preprocess)
 
     t = sub.add_parser("tree", help="one PHAST shortest path tree")

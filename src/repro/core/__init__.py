@@ -2,7 +2,12 @@
 
 from .gphast import GphastEngine, GphastResult
 from .many_to_many import many_to_many_buckets
-from .parallel import block_boundaries, tree_level_parallel, trees_per_core
+from .parallel import (
+    block_boundaries,
+    resolve_workers,
+    tree_level_parallel,
+    trees_per_core,
+)
 from .phast import PhastEngine, phast_scalar
 from .rphast import RPhastEngine
 from .sweep import SweepStructure
@@ -24,6 +29,7 @@ __all__ = [
     "trees_per_core",
     "tree_level_parallel",
     "block_boundaries",
+    "resolve_workers",
     "parents_in_original_graph",
     "validate_tree",
     "subtree_aggregate",

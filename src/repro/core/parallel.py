@@ -30,7 +30,30 @@ from ..ch.hierarchy import ContractionHierarchy
 from ..graph.csr import INF
 from .phast import PhastEngine
 
-__all__ = ["trees_per_core", "tree_level_parallel", "block_boundaries"]
+__all__ = [
+    "trees_per_core",
+    "tree_level_parallel",
+    "block_boundaries",
+    "resolve_workers",
+]
+
+
+def resolve_workers(num_workers: int | None = None) -> tuple[int, bool]:
+    """Effective worker count for :func:`trees_per_core`.
+
+    Returns ``(workers, fell_back)``.  ``fell_back`` is ``True`` when
+    more than one worker was requested (or implied by the default) but
+    the machine has a single CPU, so forking a process pool would only
+    add IPC overhead on top of zero parallel speedup — the driver runs
+    the serial engine instead.  Benchmarks surface the flag so a
+    single-core run is never mistaken for a parallel measurement.
+    """
+    cpus = os.cpu_count() or 1
+    if num_workers is None:
+        num_workers = min(8, cpus)
+    if num_workers > 1 and cpus <= 1:
+        return 1, True
+    return max(1, num_workers), False
 
 # Worker-process state, inherited through fork and initialized lazily.
 _WORKER_CH: ContractionHierarchy | None = None
@@ -66,6 +89,7 @@ def trees_per_core(
     num_workers: int | None = None,
     sources_per_sweep: int = 1,
     reduce: Callable[[int, np.ndarray], object] | None = None,
+    force_pool: bool = False,
 ):
     """Compute many trees with one engine per worker process.
 
@@ -77,13 +101,19 @@ def trees_per_core(
         Roots, processed in order; results are returned in the same
         order.
     num_workers:
-        Worker processes (default: CPU count, capped at 8).
+        Worker processes (default: CPU count, capped at 8).  On a
+        single-CPU machine multi-worker requests fall back to the
+        serial engine (see :func:`resolve_workers`) unless
+        ``force_pool`` is set.
     sources_per_sweep:
         The ``k`` of Section IV-B applied inside each worker.
     reduce:
         Optional per-tree reducer ``(source, dist) -> value`` applied in
         the worker; pass one whenever ``len(sources) × n`` distances
         would not fit in memory (e.g. diameter keeps one max per tree).
+    force_pool:
+        Spin up the process pool even when the fallback would trigger —
+        for exercising the multiprocessing path on single-core boxes.
 
     Returns
     -------
@@ -92,8 +122,12 @@ def trees_per_core(
     sources = [int(s) for s in sources]
     if not sources:
         return []
-    if num_workers is None:
-        num_workers = min(8, os.cpu_count() or 1)
+    if force_pool:
+        if num_workers is None:
+            num_workers = min(8, os.cpu_count() or 1)
+        num_workers = max(1, num_workers)
+    else:
+        num_workers, _ = resolve_workers(num_workers)
     if num_workers <= 1:
         global _WORKER_CH, _WORKER_ENGINE, _WORKER_K, _WORKER_REDUCE
         _WORKER_CH, _WORKER_ENGINE = ch, None

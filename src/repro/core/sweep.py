@@ -53,6 +53,16 @@ class SweepStructure:
     arc_via:
         Shortcut middle vertex (original ID) per arc, -1 for original
         arcs; used when reconstructing parent pointers in ``G+``.
+
+    Notes
+    -----
+    The per-arc arrays (``arc_tail_pos``, ``arc_len``) and the offset
+    array ``arc_first`` are narrowed to 32-bit when the instance fits
+    (position and arc counts and lengths below 2³¹) — the
+    paper's GPU lays arcs out exactly so (4-byte tail + 4-byte length,
+    4-byte offsets), and halving the scanned bytes is part of what the
+    sweep's memory-bandwidth bound is about.  Arithmetic against the
+    ``int64`` distance array promotes, so consumers are unaffected.
     """
 
     __slots__ = (
@@ -100,6 +110,17 @@ class SweepStructure:
         self.arc_first = np.zeros(n + 1, dtype=np.int64)
         np.add.at(self.arc_first, head_pos + 1, 1)
         np.cumsum(self.arc_first, out=self.arc_first)
+
+        # Narrow to the GPU layout's 32-bit entries when they fit.
+        m = int(self.arc_len.size)
+        max_len = int(self.arc_len.max()) if m else 0
+        if n <= np.iinfo(np.int32).max and max_len <= np.iinfo(np.int32).max:
+            self.arc_tail_pos = self.arc_tail_pos.astype(np.int32)
+            self.arc_len = self.arc_len.astype(np.int32)
+        # int32 rather than uint32: unsigned offsets promote through
+        # cumsum/concatenate to uint64 and then float64 downstream.
+        if m <= np.iinfo(np.int32).max:
+            self.arc_first = self.arc_first.astype(np.int32)
 
     @property
     def num_arcs(self) -> int:

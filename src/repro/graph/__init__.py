@@ -7,6 +7,7 @@ from .analysis import (
 )
 from .builder import GraphBuilder
 from .csr import INF, StaticGraph
+from .dynamic import DynamicAdjacency
 from .dimacs import read_co, read_gr, write_co, write_gr
 from .generators import (
     RoadNetworkParams,
@@ -40,6 +41,7 @@ from .validation import (
 __all__ = [
     "INF",
     "StaticGraph",
+    "DynamicAdjacency",
     "GraphBuilder",
     "read_gr",
     "write_gr",

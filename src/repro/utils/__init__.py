@@ -1,9 +1,12 @@
 """Shared utilities: segmented-array helpers, timing, statistics."""
 
+from .hotloop import bulk_compute, keep_malloc_arenas
 from .segments import gather_ranges, repeat_per_segment, segment_minimum
 from .timing import Timer, median_of_repeats
 
 __all__ = [
+    "bulk_compute",
+    "keep_malloc_arenas",
     "gather_ranges",
     "repeat_per_segment",
     "segment_minimum",

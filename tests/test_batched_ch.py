@@ -1,0 +1,209 @@
+"""Tests for the batched independent-set contraction engine.
+
+The batched engine must be *observationally identical* to the lazy
+sequential reference: every p2p query and every PHAST tree returns the
+exact Dijkstra distances, ranks/levels form a valid topological order
+of the downward graph, and the shortcut count stays close (within 15%
+on road-like inputs — the batched rounds decide shortcuts with
+slightly less information than the strictly sequential order).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ch import CHParams, ch_query, contract_graph
+from repro.core import PhastEngine
+from repro.graph import (
+    DynamicAdjacency,
+    GraphBuilder,
+    RoadNetworkParams,
+    StaticGraph,
+    cycle_graph,
+    europe_like,
+    grid_graph,
+    road_network,
+)
+from repro.sssp import dijkstra
+
+BATCHED = CHParams(strategy="batched")
+
+
+@pytest.fixture(scope="module")
+def road_batched_ch(road):
+    return contract_graph(road, BATCHED)
+
+
+# -- hierarchy validity -------------------------------------------------------
+
+
+def test_batched_hierarchy_validates(road_batched_ch):
+    road_batched_ch.validate()
+
+
+def test_batched_stats_shape(road_batched_ch):
+    stats = road_batched_ch.preprocessing_stats
+    assert stats["strategy"] == "batched"
+    assert stats["rounds"] == len(stats["round_log"])
+    assert stats["peak_batch"] == max(r["batch"] for r in stats["round_log"])
+    assert stats["witness_searches"] > 0
+    assert sum(r["batch"] for r in stats["round_log"]) == road_batched_ch.n
+
+
+def test_ranks_and_levels_topological_on_downward(road_batched_ch):
+    """rank is a permutation; downward arcs decrease in both rank and
+    level — i.e. a valid topological order of G-down."""
+    ch = road_batched_ch
+    rank = ch.rank
+    assert np.array_equal(np.sort(rank), np.arange(ch.n))
+    down = ch.downward_rev  # stored per head: tails have higher rank
+    heads = down.arc_tails()
+    tails = down.arc_head
+    assert np.all(ch.rank[tails] > ch.rank[heads])
+    assert np.all(ch.level[tails] > ch.level[heads])
+
+
+def test_independent_rounds_never_contract_neighbours(road):
+    """No arc of the original graph connects two same-round vertices.
+
+    Round membership is recovered from the round log: ranks are
+    assigned contiguously per round in round order.
+    """
+    ch = contract_graph(road, BATCHED)
+    sizes = [r["batch"] for r in ch.preprocessing_stats["round_log"]]
+    bounds = np.concatenate(([0], np.cumsum(sizes)))
+    round_of_rank = np.searchsorted(bounds, np.arange(ch.n), side="right") - 1
+    round_of_vertex = round_of_rank[ch.rank]
+    tails = road.arc_tails()
+    heads = road.arc_head
+    proper = tails != heads
+    assert np.all(
+        round_of_vertex[tails[proper]] != round_of_vertex[heads[proper]]
+    )
+
+
+# -- distances ----------------------------------------------------------------
+
+
+def test_batched_p2p_equals_dijkstra(road, road_batched_ch):
+    rng = np.random.default_rng(5)
+    for _ in range(40):
+        s, t = (int(x) for x in rng.integers(0, road.n, 2))
+        ref = dijkstra(road, s, with_parents=False).dist[t]
+        assert ch_query(road_batched_ch, s, t).distance == ref
+
+
+def test_batched_phast_trees_equal_dijkstra(road, road_batched_ch):
+    engine = PhastEngine(road_batched_ch)
+    for s in (0, 17, 123, road.n - 1):
+        ref = dijkstra(road, s, with_parents=False).dist
+        assert np.array_equal(engine.tree(s).dist, ref)
+
+
+@pytest.mark.parametrize(
+    "graph",
+    [
+        grid_graph(5, 5),
+        cycle_graph(9),
+        road_network(RoadNetworkParams(rows=6, cols=6, seed=11)),
+        europe_like(scale=9, metric="time", seed=3),
+    ],
+    ids=["grid", "cycle", "road6", "europe9"],
+)
+def test_batched_trees_on_graph_zoo(graph):
+    ch = contract_graph(graph, BATCHED)
+    ch.validate()
+    engine = PhastEngine(ch)
+    rng = np.random.default_rng(0)
+    for s in rng.integers(0, graph.n, 3):
+        ref = dijkstra(graph, int(s), with_parents=False).dist
+        assert np.array_equal(engine.tree(int(s)).dist, ref)
+
+
+def test_batched_handles_isolated_and_singleton():
+    b = GraphBuilder(4)
+    b.add_arc(0, 1, 2)
+    b.add_arc(1, 0, 2)
+    ch = contract_graph(b.build(), BATCHED)
+    ch.validate()
+    assert ch_query(ch, 0, 1).distance == 2
+    one = contract_graph(GraphBuilder(1).build(), BATCHED)
+    one.validate()
+    assert one.n == 1
+
+
+# -- shortcut parity ----------------------------------------------------------
+
+
+def test_shortcut_count_within_15_percent(road):
+    seq = contract_graph(road, CHParams(strategy="lazy"))
+    bat = contract_graph(road, BATCHED)
+    assert bat.num_shortcuts <= 1.15 * seq.num_shortcuts
+
+
+def test_unknown_strategy_rejected(road):
+    with pytest.raises(ValueError):
+        contract_graph(road, CHParams(strategy="greedy"))
+
+
+# -- dynamic adjacency --------------------------------------------------------
+
+
+def test_dynamic_adjacency_rebuild_preserves_arcs():
+    g = grid_graph(4, 4)
+    dyn = DynamicAdjacency(g, rebuild_every=1)
+    before = {
+        (int(t), int(h))
+        for t, h in zip(*dyn.live_arc_pairs())
+    }
+    dyn.add_arcs(
+        np.array([0, 5]), np.array([10, 12]), np.array([7, 7]),
+        np.array([2, 2]),
+    )
+    dyn.retire(np.array([1]), removed_arcs=0)
+    dyn.end_round()  # forces a rebuild (rebuild_every=1)
+    after = {
+        (int(t), int(h))
+        for t, h in zip(*dyn.live_arc_pairs())
+    }
+    assert (0, 10) in after and (5, 12) in after
+    assert all(1 not in pair for pair in after)
+    # Every surviving original arc is still there.
+    expect = {p for p in before if 1 not in p} | {(0, 10), (5, 12)}
+    assert after == expect
+
+
+# -- property tests -----------------------------------------------------------
+
+
+@st.composite
+def graphs(draw, max_n=14, max_m=40):
+    n = draw(st.integers(1, max_n))
+    m = draw(st.integers(0, max_m))
+    tails = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    heads = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    lens = draw(st.lists(st.integers(0, 30), min_size=m, max_size=m))
+    return StaticGraph(n, tails, heads, lens)
+
+
+@given(g=graphs(), source=st.integers(0, 13))
+@settings(max_examples=50, deadline=None)
+def test_batched_phast_equals_dijkstra_on_random_graphs(g, source):
+    source %= g.n
+    ch = contract_graph(g, BATCHED)
+    ch.validate()
+    ref = dijkstra(g, source, with_parents=False).dist
+    assert np.array_equal(PhastEngine(ch).tree(source).dist, ref)
+
+
+@given(g=graphs(), s=st.integers(0, 13), t=st.integers(0, 13))
+@settings(max_examples=50, deadline=None)
+def test_batched_query_equals_dijkstra_on_random_graphs(g, s, t):
+    s %= g.n
+    t %= g.n
+    ch = contract_graph(g, BATCHED)
+    ref = dijkstra(g, s, with_parents=False).dist[t]
+    assert ch_query(ch, s, t).distance == ref

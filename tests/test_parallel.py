@@ -93,3 +93,26 @@ def test_trees_per_core_order_preserved(road, road_ch):
     out = trees_per_core(road_ch, sources, num_workers=2)
     for s, dist in zip(sources, out):
         assert dist[s] == 0
+
+
+def test_resolve_workers_single_cpu_fallback(monkeypatch):
+    import os
+
+    from repro.core import resolve_workers
+
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+    assert resolve_workers(4) == (1, True)
+    assert resolve_workers(None) == (1, False)
+    assert resolve_workers(1) == (1, False)
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
+    assert resolve_workers(4) == (4, False)
+    assert resolve_workers(None) == (8, False)
+
+
+def test_trees_per_core_force_pool(road, road_ch):
+    """The multiprocessing path stays exercised even on 1-CPU hosts,
+    where multi-worker requests normally fall back to serial."""
+    sources = [2, 11, 23]
+    out = trees_per_core(road_ch, sources, num_workers=2, force_pool=True)
+    for s, dist in zip(sources, out):
+        assert np.array_equal(dist, dijkstra(road, s, with_parents=False).dist)

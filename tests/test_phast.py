@@ -42,6 +42,18 @@ def test_sweep_arcs_point_upward(road_ch):
     assert np.all(sw.arc_tail_pos < heads)
 
 
+def test_sweep_arrays_narrowed_to_gpu_layout(road_ch):
+    """Small instances store 4-byte arc entries, matching the GPU
+    model's ARC_BYTES=8 (tail+len) and FIRST_BYTES=4 accounting."""
+    sw = SweepStructure(road_ch)
+    assert sw.arc_tail_pos.dtype == np.int32
+    assert sw.arc_len.dtype == np.int32
+    assert sw.arc_first.dtype == np.int32
+    assert sw.nbytes == (
+        4 * (sw.n + 1) + 8 * sw.num_arcs + sw.level_first.nbytes
+    )
+
+
 def test_sweep_arc_count_matches_downward(road_ch):
     sw = SweepStructure(road_ch)
     assert sw.num_arcs == road_ch.downward_rev.m
