@@ -16,6 +16,7 @@ import time
 
 import bench_ablations
 import bench_applications
+import bench_batch_queries
 import bench_ch_query
 import bench_fig1_levels
 import bench_highway_dimension
@@ -43,6 +44,7 @@ EXPERIMENTS = {
     "applications": bench_applications.run,
     "ablations": bench_ablations.run,
     "rphast": bench_rphast.run,
+    "batch_queries": bench_batch_queries.run,
     "highway_dimension": bench_highway_dimension.run,
 }
 

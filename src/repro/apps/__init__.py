@@ -4,12 +4,18 @@ betweenness."""
 from .arcflags import (
     ArcFlags,
     BidirectionalArcFlags,
+    arcflag_pool,
     arcflags_query,
     arcflags_query_bidirectional,
     compute_arc_flags,
     compute_bidirectional_arc_flags,
 )
-from .betweenness import betweenness, betweenness_approx, brandes_single_source
+from .betweenness import (
+    betweenness,
+    betweenness_approx,
+    betweenness_pool,
+    brandes_single_source,
+)
 from .diameter import DiameterResult, diameter, eccentricities
 from .isochrone import NearestPoiIndex, Poi, isochrone
 from .partition import (
@@ -23,12 +29,14 @@ from .reach import exact_reaches, reach_from_tree
 __all__ = [
     "ArcFlags",
     "compute_arc_flags",
+    "arcflag_pool",
     "arcflags_query",
     "BidirectionalArcFlags",
     "arcflags_query_bidirectional",
     "compute_bidirectional_arc_flags",
     "betweenness",
     "betweenness_approx",
+    "betweenness_pool",
     "brandes_single_source",
     "DiameterResult",
     "diameter",

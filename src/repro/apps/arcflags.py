@@ -20,7 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..ch.contraction import CHParams, contract_graph
-from ..core.phast import PhastEngine
+from ..core.pool import PhastPool, TreeReducer
 from ..graph.csr import INF, StaticGraph
 from ..pq.binary_heap import BinaryHeap
 from ..sssp.dijkstra import dijkstra
@@ -28,6 +28,8 @@ from .partition import Partition, boundary_vertices
 
 __all__ = [
     "ArcFlags",
+    "ArcFlagReducer",
+    "arcflag_pool",
     "compute_arc_flags",
     "arcflags_query",
     "BidirectionalArcFlags",
@@ -83,6 +85,60 @@ def _flag_from_reverse_tree(
     flags[on_sp, cell_idx] = True
 
 
+class ArcFlagReducer(TreeReducer):
+    """OR per-boundary-vertex flag contributions inside the workers.
+
+    Each reverse tree rooted at boundary vertex ``b`` marks the arcs on
+    shortest paths toward ``b`` in the column of ``b``'s cell.  The
+    per-worker state is a full ``(m, num_cells)`` Boolean table — the
+    only thing shipped back per worker — and the parent ORs the tables,
+    so an all-boundary run never pickles a single distance array.
+
+    Expects the pool to publish the forward graph as ``"graph"`` and
+    the partition's cell assignment as ``"cell"``.
+    """
+
+    def __init__(self, num_cells: int) -> None:
+        self.num_cells = int(num_cells)
+
+    def make_state(self, ctx):
+        return np.zeros((ctx.graph("graph").m, self.num_cells), dtype=bool)
+
+    def fold(self, ctx, state, index, source, dist):
+        graph = ctx.graph("graph")
+        cell = ctx.array("cell")
+        _flag_from_reverse_tree(
+            graph, graph.arc_tails(), dist, state, int(cell[source])
+        )
+        return state
+
+    def merge(self, states):
+        out = states[0]
+        for s in states[1:]:
+            out |= s
+        return out
+
+
+def arcflag_pool(
+    reverse_ch,
+    graph: StaticGraph,
+    partition: Partition,
+    **pool_kwargs,
+) -> PhastPool:
+    """A pool over the reverse hierarchy, provisioned for arc flags.
+
+    Publishes the forward graph and the partition's cell array so
+    :class:`ArcFlagReducer` can run in the workers; pass the result to
+    :func:`compute_arc_flags` via ``pool=`` to reuse it across calls.
+    """
+    return PhastPool(
+        reverse_ch,
+        graphs={"graph": graph},
+        arrays={"cell": np.asarray(partition.cell, dtype=np.int64)},
+        **pool_kwargs,
+    )
+
+
 def compute_arc_flags(
     graph: StaticGraph,
     partition: Partition,
@@ -90,6 +146,8 @@ def compute_arc_flags(
     method: str = "phast",
     reverse_ch=None,
     ch_params: CHParams | None = None,
+    num_workers: int = 1,
+    pool: PhastPool | None = None,
 ) -> ArcFlags:
     """Build the arc-flag table.
 
@@ -107,6 +165,12 @@ def compute_arc_flags(
         demand otherwise.
     ch_params:
         Passed to CH preprocessing when the hierarchy is built here.
+    num_workers:
+        Worker processes for an ephemeral pool (ignored when ``pool``
+        is passed).
+    pool:
+        A persistent pool from :func:`arcflag_pool` to reuse across
+        calls (it must publish ``graph`` and ``cell``).
     """
     m = graph.m
     cell = partition.cell
@@ -118,22 +182,32 @@ def compute_arc_flags(
     flags[np.arange(m), cell[graph.arc_head]] = True
 
     boundary = boundary_vertices(graph, partition)
-    reverse = graph.reverse()
-    engine = None
     if method == "phast":
-        if reverse_ch is None:
-            reverse_ch = contract_graph(reverse, ch_params)
-        engine = PhastEngine(reverse_ch)
-    elif method != "dijkstra":
-        raise ValueError(f"unknown method {method!r}")
-
-    for b in boundary:
-        b = int(b)
-        if engine is not None:
-            dist_to_b = engine.tree(b).dist
-        else:
+        if pool is None and reverse_ch is None:
+            reverse_ch = contract_graph(graph.reverse(), ch_params)
+        owned = pool is None
+        if owned:
+            pool = arcflag_pool(
+                reverse_ch, graph, partition, num_workers=num_workers
+            )
+        try:
+            if boundary.size:
+                flags |= pool.reduce(
+                    boundary, ArcFlagReducer(partition.num_cells)
+                )
+        finally:
+            if owned:
+                pool.close()
+    elif method == "dijkstra":
+        reverse = graph.reverse()
+        for b in boundary:
+            b = int(b)
             dist_to_b = dijkstra(reverse, b, with_parents=False).dist
-        _flag_from_reverse_tree(graph, tails, dist_to_b, flags, int(cell[b]))
+            _flag_from_reverse_tree(
+                graph, tails, dist_to_b, flags, int(cell[b])
+            )
+    else:
+        raise ValueError(f"unknown method {method!r}")
     return ArcFlags(
         graph=graph,
         partition=partition,

@@ -18,11 +18,17 @@ from __future__ import annotations
 import numpy as np
 
 from ..ch.hierarchy import ContractionHierarchy
-from ..core.phast import PhastEngine
+from ..core.pool import PhastPool, TreeReducer
 from ..graph.csr import INF, StaticGraph
 from ..sssp.dijkstra import dijkstra
 
-__all__ = ["betweenness", "betweenness_approx", "brandes_single_source"]
+__all__ = [
+    "betweenness",
+    "betweenness_approx",
+    "brandes_single_source",
+    "BrandesReducer",
+    "betweenness_pool",
+]
 
 
 def brandes_single_source(
@@ -88,6 +94,42 @@ def brandes_single_source(
     return delta
 
 
+class BrandesReducer(TreeReducer):
+    """Sum per-source dependency vectors inside the workers.
+
+    Brandes phases (2)–(3) run next to each tree, so only one float64
+    vector per worker crosses the process boundary.  Expects the pool
+    to publish the forward and reverse CSR of the input graph as
+    ``"graph"`` and ``"reverse"``.
+    """
+
+    def make_state(self, ctx):
+        return np.zeros(ctx.n, dtype=np.float64)
+
+    def fold(self, ctx, state, index, source, dist):
+        state += brandes_single_source(
+            ctx.graph("graph"), ctx.graph("reverse"), source, dist
+        )
+        return state
+
+    def merge(self, states):
+        out = states[0]
+        for s in states[1:]:
+            out += s
+        return out
+
+
+def betweenness_pool(
+    ch: ContractionHierarchy, graph: StaticGraph, **pool_kwargs
+) -> PhastPool:
+    """A pool provisioned for :func:`betweenness` (both CSR directions)."""
+    return PhastPool(
+        ch,
+        graphs={"graph": graph, "reverse": graph.reverse()},
+        **pool_kwargs,
+    )
+
+
 def betweenness_approx(
     graph: StaticGraph,
     ch: ContractionHierarchy | None = None,
@@ -132,6 +174,8 @@ def betweenness(
     sources: np.ndarray | None = None,
     method: str = "phast",
     normalized: bool = False,
+    num_workers: int = 1,
+    pool: PhastPool | None = None,
 ) -> np.ndarray:
     """(Sampled) exact betweenness of every vertex.
 
@@ -144,26 +188,37 @@ def betweenness(
         ``"phast"`` or ``"dijkstra"`` distance backend.
     normalized:
         Divide by ``(n - 1)(n - 2)`` (directed convention).
+    num_workers:
+        Worker processes for an ephemeral pool (ignored when ``pool``
+        is passed).
+    pool:
+        A persistent pool from :func:`betweenness_pool`, reused across
+        calls (it must publish ``graph`` and ``reverse``).
     """
     n = graph.n
     if sources is None:
         sources = np.arange(n, dtype=np.int64)
-    reverse = graph.reverse()
-    engine = None
-    if method == "phast":
-        if ch is None:
-            raise ValueError("method='phast' requires a hierarchy")
-        engine = PhastEngine(ch)
-    elif method != "dijkstra":
-        raise ValueError(f"unknown method {method!r}")
     cb = np.zeros(n, dtype=np.float64)
-    for s in sources:
-        s = int(s)
-        if engine is not None:
-            dist = engine.tree(s).dist
-        else:
+    if method == "phast":
+        if pool is None and ch is None:
+            raise ValueError("method='phast' requires a hierarchy")
+        owned = pool is None
+        if owned:
+            pool = betweenness_pool(ch, graph, num_workers=num_workers)
+        try:
+            if len(sources):
+                cb += pool.reduce(sources, BrandesReducer())
+        finally:
+            if owned:
+                pool.close()
+    elif method == "dijkstra":
+        reverse = graph.reverse()
+        for s in sources:
+            s = int(s)
             dist = dijkstra(graph, s, with_parents=False).dist
-        cb += brandes_single_source(graph, reverse, s, dist)
+            cb += brandes_single_source(graph, reverse, s, dist)
+    else:
+        raise ValueError(f"unknown method {method!r}")
     if normalized and n > 2:
         cb /= (n - 1) * (n - 2)
     return cb

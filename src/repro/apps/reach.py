@@ -21,12 +21,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..ch.hierarchy import ContractionHierarchy
-from ..core.phast import PhastEngine
+from ..core.pool import PhastPool, TreeReducer
 from ..core.trees import parents_in_original_graph
 from ..graph.csr import INF, StaticGraph
 from ..sssp.dijkstra import dijkstra
 
-__all__ = ["reach_from_tree", "exact_reaches"]
+__all__ = ["reach_from_tree", "exact_reaches", "ReachReducer"]
 
 
 def reach_from_tree(
@@ -54,12 +54,41 @@ def reach_from_tree(
     return reach
 
 
+class ReachReducer(TreeReducer):
+    """Elementwise-max of per-tree reach vectors, inside the workers.
+
+    Each worker keeps one length-``n`` running maximum; an ``n``-tree
+    run ships back one vector per worker instead of ``n`` distance
+    arrays.  Expects the pool to publish the original graph as
+    ``"graph"`` (parent recovery needs its arcs).
+    """
+
+    def make_state(self, ctx):
+        return np.zeros(ctx.n, dtype=np.int64)
+
+    def fold(self, ctx, state, index, source, dist):
+        graph = ctx.graph("graph")
+        # Both backends recover parents with the same one-pass rule so
+        # tie-breaking (and hence the per-tree reach) is deterministic.
+        parent = parents_in_original_graph(graph, dist, source)
+        np.maximum(state, reach_from_tree(dist, parent, source), out=state)
+        return state
+
+    def merge(self, states):
+        out = states[0]
+        for s in states[1:]:
+            np.maximum(out, s, out=out)
+        return out
+
+
 def exact_reaches(
     graph: StaticGraph,
     ch: ContractionHierarchy | None = None,
     *,
     sources: np.ndarray | None = None,
     method: str = "phast",
+    num_workers: int = 1,
+    pool: PhastPool | None = None,
 ) -> np.ndarray:
     """Reach value of every vertex from ``n`` (or sampled) trees.
 
@@ -69,26 +98,40 @@ def exact_reaches(
         Tree roots; default all vertices (exact).
     method:
         ``"phast"`` or ``"dijkstra"``.
+    num_workers:
+        Worker processes for an ephemeral pool (ignored when ``pool``
+        is passed).
+    pool:
+        A persistent :class:`~repro.core.pool.PhastPool` over ``ch``
+        publishing ``graphs={"graph": graph}``, reused across calls.
     """
     n = graph.n
     if sources is None:
         sources = np.arange(n, dtype=np.int64)
     reach = np.zeros(n, dtype=np.int64)
-    engine = None
     if method == "phast":
-        if ch is None:
+        if pool is None and ch is None:
             raise ValueError("method='phast' requires a hierarchy")
-        engine = PhastEngine(ch)
-    elif method != "dijkstra":
+        owned = pool is None
+        if owned:
+            pool = PhastPool(
+                ch, num_workers=num_workers, graphs={"graph": graph}
+            )
+        try:
+            if len(sources):
+                np.maximum(
+                    reach, pool.reduce(sources, ReachReducer()), out=reach
+                )
+        finally:
+            if owned:
+                pool.close()
+        return reach
+    if method != "dijkstra":
         raise ValueError(f"unknown method {method!r}")
     for s in sources:
         s = int(s)
-        if engine is not None:
-            dist = engine.tree(s).dist
-        else:
-            dist = dijkstra(graph, s, with_parents=False).dist
-        # Both backends recover parents with the same one-pass rule so
-        # tie-breaking (and hence the per-tree reach) is deterministic.
+        dist = dijkstra(graph, s, with_parents=False).dist
+        # Same one-pass parent rule as the pooled path (see ReachReducer).
         parent = parents_in_original_graph(graph, dist, s)
         np.maximum(reach, reach_from_tree(dist, parent, s), out=reach)
     return reach

@@ -9,6 +9,7 @@ from .parallel import (
     trees_per_core,
 )
 from .phast import PhastEngine, phast_scalar
+from .pool import PhastPool, TreeReducer, WorkerContext
 from .rphast import RPhastEngine
 from .sweep import SweepStructure
 from .trees import (
@@ -26,6 +27,9 @@ __all__ = [
     "SweepStructure",
     "GphastEngine",
     "GphastResult",
+    "PhastPool",
+    "TreeReducer",
+    "WorkerContext",
     "trees_per_core",
     "tree_level_parallel",
     "block_boundaries",

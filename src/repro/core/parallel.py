@@ -3,12 +3,14 @@
 Two orthogonal strategies, both reproduced here:
 
 * **Tree per core** — different sources are independent, so workers
-  process disjoint source sets.  Implemented with forked worker
-  processes (Python threads cannot parallelize the scalar parts).  Each
-  worker owns one :class:`~repro.core.phast.PhastEngine`, inheriting
-  the read-only hierarchy via fork's copy-on-write pages — the same
-  "copy the graph to each NUMA node, pin the thread" discipline the
-  paper applies (Section VIII-E).
+  process disjoint source sets.  Implemented with worker processes
+  (Python threads cannot parallelize the scalar parts).  Each worker
+  owns one warm :class:`~repro.core.phast.PhastEngine` attached to the
+  hierarchy through a shared-memory segment — the same "one copy of
+  the read-only graph, pin a worker per core" discipline the paper
+  applies (Section VIII-E).  :func:`trees_per_core` is the one-shot
+  driver; :class:`~repro.core.pool.PhastPool` keeps the workers and
+  segments resident across batches.
 * **Intra-tree level parallelism** — vertices of one level can be
   processed concurrently because downward arcs never connect vertices
   of equal level (Lemma 4.1).  Each level's position range is split
@@ -38,8 +40,15 @@ __all__ = [
 ]
 
 
-def resolve_workers(num_workers: int | None = None) -> tuple[int, bool]:
-    """Effective worker count for :func:`trees_per_core`.
+#: Default ceiling on implied worker counts; override per call with
+#: ``max_workers`` or globally with the ``REPRO_MAX_WORKERS`` env var.
+DEFAULT_WORKER_CAP = 8
+
+
+def resolve_workers(
+    num_workers: int | None = None, *, max_workers: int | None = None
+) -> tuple[int, bool]:
+    """Effective worker count for the batch drivers.
 
     Returns ``(workers, fell_back)``.  ``fell_back`` is ``True`` when
     more than one worker was requested (or implied by the default) but
@@ -47,40 +56,23 @@ def resolve_workers(num_workers: int | None = None) -> tuple[int, bool]:
     add IPC overhead on top of zero parallel speedup — the driver runs
     the serial engine instead.  Benchmarks surface the flag so a
     single-core run is never mistaken for a parallel measurement.
+
+    An explicit ``num_workers`` is honoured as-is.  The *default* count
+    is ``min(cap, cpu_count)`` where the cap is ``max_workers`` if
+    given, else the ``REPRO_MAX_WORKERS`` environment variable, else
+    :data:`DEFAULT_WORKER_CAP` — so many-core hosts are never silently
+    throttled to 8 once either override is set.
     """
     cpus = os.cpu_count() or 1
     if num_workers is None:
-        num_workers = min(8, cpus)
+        cap = max_workers
+        if cap is None:
+            env = os.environ.get("REPRO_MAX_WORKERS", "").strip()
+            cap = int(env) if env else DEFAULT_WORKER_CAP
+        num_workers = min(max(1, cap), cpus)
     if num_workers > 1 and cpus <= 1:
         return 1, True
     return max(1, num_workers), False
-
-# Worker-process state, inherited through fork and initialized lazily.
-_WORKER_CH: ContractionHierarchy | None = None
-_WORKER_ENGINE: PhastEngine | None = None
-_WORKER_K: int = 1
-_WORKER_REDUCE: Callable | None = None
-
-
-def _worker_run(sources: list[int]):
-    global _WORKER_ENGINE
-    if _WORKER_ENGINE is None:
-        _WORKER_ENGINE = PhastEngine(_WORKER_CH)
-    eng = _WORKER_ENGINE
-    results = []
-    k = _WORKER_K
-    for i in range(0, len(sources), k):
-        chunk = sources[i : i + k]
-        if len(chunk) == 1:
-            dists = eng.tree(chunk[0]).dist[None, :]
-        else:
-            dists = eng.trees(chunk)
-        for s, row in zip(chunk, dists):
-            results.append(
-                _WORKER_REDUCE(s, row) if _WORKER_REDUCE else row.copy()
-            )
-    return results
-
 
 def trees_per_core(
     ch: ContractionHierarchy,
@@ -93,24 +85,32 @@ def trees_per_core(
 ):
     """Compute many trees with one engine per worker process.
 
+    Compatibility shim over :class:`~repro.core.pool.PhastPool`: a
+    pool is created for the call and torn down afterwards.  Workloads
+    issuing repeated batches should hold a :class:`PhastPool` directly
+    and amortize the worker startup, hierarchy publication and engine
+    builds across batches — that is the whole point of the pool.
+
     Parameters
     ----------
     ch:
-        The shared hierarchy (copy-on-write inherited by workers).
+        The shared hierarchy (published once via shared memory).
     sources:
         Roots, processed in order; results are returned in the same
         order.
     num_workers:
-        Worker processes (default: CPU count, capped at 8).  On a
-        single-CPU machine multi-worker requests fall back to the
-        serial engine (see :func:`resolve_workers`) unless
-        ``force_pool`` is set.
+        Worker processes (default: CPU count, capped per
+        :func:`resolve_workers`).  On a single-CPU machine multi-worker
+        requests fall back to the serial engine unless ``force_pool``
+        is set.
     sources_per_sweep:
         The ``k`` of Section IV-B applied inside each worker.
     reduce:
-        Optional per-tree reducer ``(source, dist) -> value`` applied in
-        the worker; pass one whenever ``len(sources) × n`` distances
-        would not fit in memory (e.g. diameter keeps one max per tree).
+        Optional per-tree reducer ``(source, dist) -> value``; applied
+        in the workers when picklable (pass one whenever
+        ``len(sources) × n`` distances would not fit in memory), in
+        the parent over the shared output matrix otherwise (closures
+        cannot travel to persistent workers).
     force_pool:
         Spin up the process pool even when the fallback would trigger —
         for exercising the multiprocessing path on single-core boxes.
@@ -119,46 +119,25 @@ def trees_per_core(
     -------
     List of per-source results (reduced values, or distance arrays).
     """
+    from .pool import PhastPool, picklable
+
     sources = [int(s) for s in sources]
     if not sources:
         return []
-    if force_pool:
-        if num_workers is None:
-            num_workers = min(8, os.cpu_count() or 1)
-        num_workers = max(1, num_workers)
-    else:
-        num_workers, _ = resolve_workers(num_workers)
-    if num_workers <= 1:
-        global _WORKER_CH, _WORKER_ENGINE, _WORKER_K, _WORKER_REDUCE
-        _WORKER_CH, _WORKER_ENGINE = ch, None
-        _WORKER_K, _WORKER_REDUCE = sources_per_sweep, reduce
-        return _worker_run(sources)
-
-    import multiprocessing as mp
-
-    ctx = mp.get_context("fork")
-    # Round-robin split: tree cost is uniform, so equal-sized chunks
-    # balance well and keep per-worker engines warm.
-    num_workers = min(num_workers, len(sources))
-    chunks = [sources[i::num_workers] for i in range(num_workers)]
-
-    _set_worker_globals(ch, sources_per_sweep, reduce)
-    with ctx.Pool(processes=len(chunks)) as pool:
-        parts = pool.map(_worker_run, chunks)
-    # Stitch the round-robin split back into source order.
-    out: list = [None] * len(sources)
-    for w, chunk in enumerate(chunks):
-        for j, _s in enumerate(chunk):
-            out[w + j * len(chunks)] = parts[w][j]
-    return out
-
-
-def _set_worker_globals(ch, k, reduce) -> None:
-    global _WORKER_CH, _WORKER_ENGINE, _WORKER_K, _WORKER_REDUCE
-    _WORKER_CH = ch
-    _WORKER_ENGINE = None
-    _WORKER_K = k
-    _WORKER_REDUCE = reduce
+    with PhastPool(
+        ch,
+        num_workers=num_workers,
+        sources_per_sweep=sources_per_sweep,
+        force_pool=force_pool,
+    ) as pool:
+        if reduce is not None and (pool.serial or picklable(reduce)):
+            return pool.map(sources, reduce)
+        mat = pool.trees(sources)
+        if reduce is not None:
+            return [reduce(s, mat[i].copy()) for i, s in enumerate(sources)]
+        # Rows are views into the pool's shared buffer, which dies with
+        # the pool — hand back owning copies.
+        return [mat[i].copy() for i in range(len(sources))]
 
 
 def block_boundaries(lo: int, hi: int, num_blocks: int) -> list[tuple[int, int]]:

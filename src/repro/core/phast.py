@@ -51,6 +51,10 @@ class PhastEngine:
         ``True`` re-fills the whole distance array with ∞ before every
         query instead of relying on implicit initialization; exists for
         the Section IV-C ablation.
+    sweep:
+        A prebuilt :class:`~repro.core.sweep.SweepStructure` for ``ch``
+        (by default one is built here).  Pool workers pass the shared
+        sweep arrays so every worker skips the O(n log n) rebuild.
 
     Notes
     -----
@@ -72,9 +76,10 @@ class PhastEngine:
         *,
         reorder: bool = True,
         explicit_init: bool = False,
+        sweep: SweepStructure | None = None,
     ) -> None:
         self.ch = ch
-        self.sweep = SweepStructure(ch)
+        self.sweep = SweepStructure(ch) if sweep is None else sweep
         self.reorder = bool(reorder)
         self.explicit_init = bool(explicit_init)
         n = ch.n
@@ -171,14 +176,20 @@ class PhastEngine:
     # -- single tree --------------------------------------------------------
 
     def tree(
-        self, source: int, *, with_parents: bool = False
+        self,
+        source: int,
+        *,
+        with_parents: bool = False,
+        dist_out: np.ndarray | None = None,
     ) -> ShortestPathTree:
         """Compute all distances from ``source`` (one PHAST query).
 
         Distances are returned indexed by *original* vertex IDs.  With
         ``with_parents=True`` the parents are recovered in ``G+``
         (shortcut arcs allowed; see :mod:`repro.core.trees` for
-        original-graph trees).
+        original-graph trees).  ``dist_out`` (length-``n`` int64)
+        receives the labels in place — pool workers pass rows of a
+        shared output matrix so no per-query array is allocated.
         """
         sw = self.sweep
         dist = self._dist
@@ -213,8 +224,11 @@ class PhastEngine:
             else:
                 dist[sw.vertex_at[lo:hi]] = values
         if self.reorder:
-            out = np.empty(sw.n, dtype=np.int64)
+            out = dist_out if dist_out is not None else np.empty(sw.n, dtype=np.int64)
             out[sw.vertex_at] = dist
+        elif dist_out is not None:
+            np.copyto(dist_out, dist)
+            out = dist_out
         else:
             out = dist.copy()
         tree = ShortestPathTree(source=source, dist=out, scanned=sw.n)
@@ -331,7 +345,7 @@ class PhastEngine:
     # -- multiple trees -------------------------------------------------------
 
     def trees(
-        self, sources: np.ndarray | list[int]
+        self, sources: np.ndarray | list[int], out: np.ndarray | None = None
     ) -> np.ndarray:
         """Compute ``k`` trees in one sweep (Section IV-B).
 
@@ -341,7 +355,8 @@ class PhastEngine:
         lanes.
 
         Returns an ``(k, n)`` array of distances indexed by original
-        vertex ID.
+        vertex ID; ``out`` of that shape receives the result in place
+        (pool workers pass slices of a shared output matrix).
         """
         sources = np.asarray(sources, dtype=np.int64)
         k = sources.size
@@ -369,7 +384,10 @@ class PhastEngine:
                     np.minimum.at(values[:, j], idx, marked_val[mk:mk_hi])
                 pointers[j] = mk_hi
             dist[lo:hi, :] = values
-        out = np.empty((k, sw.n), dtype=np.int64)
+        if out is None:
+            out = np.empty((k, sw.n), dtype=np.int64)
+        elif out.shape != (k, sw.n):
+            raise ValueError(f"out must have shape ({k}, {sw.n})")
         out[:, sw.vertex_at] = dist.T
         return out
 

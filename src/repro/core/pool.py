@@ -1,0 +1,777 @@
+"""Persistent shared-memory batch execution (the PHAST "server" layer).
+
+Sections V and VII of the paper share one shape: millions of
+independent shortest path trees over a single read-only hierarchy.
+The original ``trees_per_core`` driver paid three avoidable costs on
+every call: it forked a fresh process pool, rebuilt every worker's
+:class:`~repro.core.phast.PhastEngine` (a full
+:class:`~repro.core.sweep.SweepStructure` sort), and pickled an
+n-length ``int64`` array per source back through a pipe.
+
+:class:`PhastPool` keeps the whole apparatus resident instead:
+
+* **Publish once** — the hierarchy's flat arrays (sweep structure,
+  upward graph, plus any application CSR graphs and auxiliary arrays)
+  are copied into one ``multiprocessing.shared_memory`` segment at
+  pool construction.  Workers attach by name and wrap zero-copy NumPy
+  views, so the scheme works identically under ``fork`` and ``spawn``
+  and never duplicates the hierarchy through copy-on-write page
+  faults.
+* **Write in place** — full-distance batches land in a shared output
+  matrix (one row per source) written directly by the workers; no
+  per-source pickling.
+* **Warm engines, shared queue** — each worker builds its engine once
+  at boot and keeps it across batches, sweeping ``k`` sources per pass
+  (the Section IV-B lanes) and pulling chunks from a shared work queue
+  for load balance.
+* **In-worker reducers** — a :class:`TreeReducer` folds every tree
+  into a small per-worker state (max for diameter, flag ORs for arc
+  flags, partial sums for betweenness) that is merged in the parent,
+  so APSP-scale runs never materialize ``n × n`` distances.
+
+The pool is the batch layer the applications
+(:mod:`repro.apps.diameter`, :mod:`repro.apps.arcflags`,
+:mod:`repro.apps.reach`, :mod:`repro.apps.betweenness`) and the
+``trees_per_core`` compatibility shim run on.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import traceback
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..ch.hierarchy import ContractionHierarchy
+from ..graph.csr import StaticGraph
+from .parallel import resolve_workers
+from .phast import PhastEngine
+from .sweep import SweepStructure
+
+__all__ = ["PhastPool", "TreeReducer", "WorkerContext"]
+
+
+# ---------------------------------------------------------------------------
+# Reducer protocol
+
+
+class TreeReducer:
+    """Fold shortest path trees into a small aggregate, inside workers.
+
+    Subclass and implement the four hooks; instances must be picklable
+    (module-level classes with plain attributes), because the reducer
+    travels to the workers once per batch.
+
+    ``make_state``/``fold``/``finish`` run in the worker; ``merge``
+    runs in the parent over the per-worker results.  ``ctx`` is a
+    :class:`WorkerContext` giving access to any CSR graphs and
+    auxiliary arrays published at pool construction.
+    """
+
+    def make_state(self, ctx: "WorkerContext"):
+        """Fresh per-worker accumulator for one batch."""
+        raise NotImplementedError
+
+    def fold(self, ctx: "WorkerContext", state, index: int, source: int,
+             dist: np.ndarray):
+        """Fold one tree (``dist`` indexed by original ID); return state."""
+        raise NotImplementedError
+
+    def finish(self, ctx: "WorkerContext", state):
+        """Last in-worker step; the return value is pickled to the parent."""
+        return state
+
+    def merge(self, states: list):
+        """Combine the per-worker results (parent side)."""
+        raise NotImplementedError
+
+
+class WorkerContext:
+    """Read-only resources a :class:`TreeReducer` sees inside a worker.
+
+    Attributes
+    ----------
+    n:
+        Vertex count of the hierarchy.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        graph_arrays: Mapping[str, tuple],
+        extra_arrays: Mapping[str, np.ndarray],
+        graphs: Mapping[str, StaticGraph] | None = None,
+    ) -> None:
+        self.n = n
+        self._graph_arrays = dict(graph_arrays)
+        self._graphs: dict[str, StaticGraph] = dict(graphs or {})
+        self._arrays = dict(extra_arrays)
+
+    def graph(self, name: str) -> StaticGraph:
+        """A CSR graph published at pool construction (zero-copy view)."""
+        if name not in self._graphs:
+            if name not in self._graph_arrays:
+                raise KeyError(
+                    f"graph {name!r} was not published to this pool; pass it "
+                    "via PhastPool(..., graphs={...})"
+                )
+            first, head, lens = self._graph_arrays[name]
+            self._graphs[name] = StaticGraph.from_csr(first, head, lens)
+        return self._graphs[name]
+
+    def array(self, name: str) -> np.ndarray:
+        """An auxiliary array published at pool construction."""
+        if name not in self._arrays:
+            raise KeyError(
+                f"array {name!r} was not published to this pool; pass it "
+                "via PhastPool(..., arrays={...})"
+            )
+        return self._arrays[name]
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory publication
+
+#: Byte alignment of every published array inside the segment.
+_ALIGN = 64
+
+
+@dataclass(frozen=True)
+class _ArraySpec:
+    key: str
+    dtype: str
+    shape: tuple
+    offset: int
+
+
+def _publish(arrays: dict[str, np.ndarray]) -> tuple[shared_memory.SharedMemory, list[_ArraySpec]]:
+    """Copy ``arrays`` into one fresh shared-memory segment."""
+    specs: list[_ArraySpec] = []
+    offset = 0
+    normalized = {k: np.ascontiguousarray(a) for k, a in arrays.items()}
+    for key, a in normalized.items():
+        offset = (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+        specs.append(_ArraySpec(key, a.dtype.str, a.shape, offset))
+        offset += a.nbytes
+    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    for spec in specs:
+        src = normalized[spec.key]
+        view = np.ndarray(
+            spec.shape, dtype=spec.dtype, buffer=shm.buf, offset=spec.offset
+        )
+        view[...] = src
+    return shm, specs
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting ownership.
+
+    Python < 3.13 registers every attached segment with the resource
+    tracker, which would try to unlink it again when the *worker*
+    exits.  The parent owns the segment, so attaching must not
+    register: sending ``unregister`` afterwards instead would also
+    cancel the *parent's* registration under ``fork`` (one shared
+    tracker), making the parent's eventual unlink complain.
+    """
+    try:  # Python >= 3.13
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        from multiprocessing import resource_tracker
+
+        orig = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = orig
+
+
+def _views(shm: shared_memory.SharedMemory, specs: Sequence[_ArraySpec]) -> dict[str, np.ndarray]:
+    return {
+        spec.key: np.ndarray(
+            spec.shape, dtype=spec.dtype, buffer=shm.buf, offset=spec.offset
+        )
+        for spec in specs
+    }
+
+
+class _WorkerHierarchy:
+    """The slice of a hierarchy a pooled engine needs (``n`` + ``G↑``).
+
+    The sweep structure is rebuilt from shared arrays separately, so
+    the downward graph and preprocessing metadata never travel to the
+    workers; touching them raises instead of silently lying.
+    """
+
+    def __init__(self, n: int, upward: StaticGraph) -> None:
+        self.n = n
+        self.upward = upward
+
+    def __getattr__(self, name: str):
+        raise AttributeError(
+            f"hierarchy field {name!r} is not published to pool workers "
+            "(only n and the upward graph are)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+
+
+def _sweep_keys(sweep: SweepStructure) -> dict[str, np.ndarray]:
+    return {
+        "sw:pos_of": sweep.pos_of,
+        "sw:vertex_at": sweep.vertex_at,
+        "sw:level_first": sweep.level_first,
+        "sw:arc_first": sweep.arc_first,
+        "sw:arc_tail_pos": sweep.arc_tail_pos,
+        "sw:arc_len": sweep.arc_len,
+        "sw:arc_via": sweep.arc_via,
+        "sw:level_of_pos": sweep.level_of_pos,
+    }
+
+
+def _build_worker_state(views: dict[str, np.ndarray], meta: dict):
+    """Reconstruct the engine + context from shared-memory views."""
+    n = meta["n"]
+    sweep = SweepStructure.from_arrays(
+        n=n,
+        num_levels=meta["num_levels"],
+        pos_of=views["sw:pos_of"],
+        vertex_at=views["sw:vertex_at"],
+        level_first=views["sw:level_first"],
+        arc_first=views["sw:arc_first"],
+        arc_tail_pos=views["sw:arc_tail_pos"],
+        arc_len=views["sw:arc_len"],
+        arc_via=views["sw:arc_via"],
+        level_of_pos=views["sw:level_of_pos"],
+    )
+    upward = StaticGraph.from_csr(
+        views["up:first"], views["up:arc_head"], views["up:arc_len"]
+    )
+    ch = _WorkerHierarchy(n, upward)
+    engine = PhastEngine(ch, reorder=meta["reorder"], sweep=sweep)
+    graph_arrays = {
+        name: (
+            views[f"g:{name}:first"],
+            views[f"g:{name}:arc_head"],
+            views[f"g:{name}:arc_len"],
+        )
+        for name in meta["graphs"]
+    }
+    extra = {name: views[f"a:{name}"] for name in meta["arrays"]}
+    ctx = WorkerContext(n, graph_arrays, extra)
+    return engine, ctx
+
+
+def _run_chunks(engine: PhastEngine, ctx: WorkerContext, chunk_q, k: int,
+                batch: dict, out: np.ndarray | None):
+    """Pull chunks until the sentinel; fold/write each tree."""
+    mode = batch["mode"]
+    reducer: TreeReducer | None = batch.get("reducer")
+    fn: Callable | None = batch.get("fn")
+    state = reducer.make_state(ctx) if mode == "reduce" else None
+    results: dict[int, object] = {}
+    count = 0
+    while True:
+        item = chunk_q.get()
+        if item is None:
+            break
+        start, chunk = item
+        for i in range(0, len(chunk), k):
+            sub = chunk[i : i + k]
+            base = start + i
+            if mode == "dist" and len(sub) > 1:
+                # Lanes scatter straight into the shared rows: no
+                # intermediate per-source array at all.
+                engine.trees(sub, out=out[base : base + len(sub)])
+                count += len(sub)
+                continue
+            if len(sub) == 1:
+                if mode == "dist":
+                    engine.tree(sub[0], dist_out=out[base])
+                    count += 1
+                    continue
+                rows = engine.tree(sub[0]).dist[None, :]
+            else:
+                rows = engine.trees(sub)
+            for j, (s, row) in enumerate(zip(sub, rows)):
+                if mode == "reduce":
+                    state = reducer.fold(ctx, state, base + j, s, row)
+                else:
+                    results[base + j] = fn(s, row)
+                count += 1
+    if mode == "dist":
+        return count
+    if mode == "reduce":
+        return reducer.finish(ctx, state)
+    return results
+
+
+def _drain(chunk_q) -> None:
+    """Consume chunks up to this worker's sentinel after a failure."""
+    while chunk_q.get() is not None:
+        pass
+
+
+def _pool_worker(worker_id, shm_name, specs, meta, ctrl_q, chunk_q, result_q):
+    shm = None
+    out_shm: shared_memory.SharedMemory | None = None
+    out_name: str | None = None
+    try:
+        shm = _attach(shm_name)
+        engine, ctx = _build_worker_state(_views(shm, specs), meta)
+    except BaseException:
+        result_q.put((None, worker_id, "error", traceback.format_exc()))
+        return
+    k = meta["k"]
+    n = meta["n"]
+    try:
+        while True:
+            batch = ctrl_q.get()
+            if batch is None:
+                break
+            try:
+                out = None
+                if batch["mode"] == "dist":
+                    if batch["out_name"] != out_name:
+                        if out_shm is not None:
+                            out_shm.close()
+                        out_shm = _attach(batch["out_name"])
+                        out_name = batch["out_name"]
+                    out = np.ndarray(
+                        (batch["out_rows"], n), dtype=np.int64,
+                        buffer=out_shm.buf,
+                    )
+                payload = _run_chunks(engine, ctx, chunk_q, k, batch, out)
+                result_q.put((batch["id"], worker_id, "ok", payload))
+            except BaseException:
+                _drain(chunk_q)
+                result_q.put(
+                    (batch["id"], worker_id, "error", traceback.format_exc())
+                )
+    finally:
+        try:
+            if out_shm is not None:
+                out_shm.close()
+        except BufferError:
+            pass
+        try:
+            if shm is not None:
+                shm.close()
+        except BufferError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# The pool
+
+
+class PhastPool:
+    """Persistent worker pool computing shortest path trees in batches.
+
+    Parameters
+    ----------
+    ch:
+        The shared hierarchy.  Its sweep structure is built once in the
+        parent and published to every worker.
+    num_workers:
+        Worker processes (default: CPU count capped by
+        :func:`~repro.core.parallel.resolve_workers`).  ``1`` (or the
+        single-CPU fallback) runs everything in-process with no shared
+        memory at all — same results, no IPC.
+    sources_per_sweep:
+        The ``k`` of Section IV-B applied inside each worker.
+    context:
+        ``"fork"`` (default) or ``"spawn"``; shared-memory attach works
+        under both, so spawn-only platforms are first-class.
+    force_pool:
+        Spin up worker processes even on a single-CPU host (the
+        multiprocessing path stays testable everywhere).
+    graphs:
+        Named CSR graphs to publish for reducers (e.g. the original
+        graph for arc flags / reach, the reverse graph for
+        betweenness).  Zero-copy views inside workers.
+    arrays:
+        Named auxiliary NumPy arrays to publish (e.g. a partition's
+        cell assignment).
+    reorder:
+        Passed through to every worker's engine.
+    chunk_size:
+        Sources per work-queue chunk; default balances ~4 chunks per
+        worker, rounded to a multiple of ``sources_per_sweep``.
+    """
+
+    def __init__(
+        self,
+        ch: ContractionHierarchy,
+        *,
+        num_workers: int | None = None,
+        sources_per_sweep: int = 1,
+        context: str = "fork",
+        force_pool: bool = False,
+        graphs: Mapping[str, StaticGraph] | None = None,
+        arrays: Mapping[str, np.ndarray] | None = None,
+        reorder: bool = True,
+        chunk_size: int | None = None,
+    ) -> None:
+        if sources_per_sweep < 1:
+            raise ValueError("sources_per_sweep must be >= 1")
+        self.ch = ch
+        self.n = ch.n
+        self.k = int(sources_per_sweep)
+        self.reorder = bool(reorder)
+        self.chunk_size = chunk_size
+        self._graphs = dict(graphs or {})
+        self._arrays = {
+            name: np.ascontiguousarray(a) for name, a in (arrays or {}).items()
+        }
+        self.batches_run = 0
+        self.trees_computed = 0
+        self._closed = False
+        self._batch_counter = 0
+
+        if force_pool:
+            if num_workers is None:
+                num_workers, _ = resolve_workers(None)
+            num_workers = max(1, num_workers)
+            self._fell_back = False
+        else:
+            num_workers, self._fell_back = resolve_workers(num_workers)
+        self.num_workers = num_workers
+        self._serial = num_workers <= 1 and not force_pool
+
+        # Parent-side engine: the serial path runs on it, and the
+        # process path publishes its sweep arrays (built exactly once).
+        self._engine = PhastEngine(ch, reorder=self.reorder)
+
+        self._shm: shared_memory.SharedMemory | None = None
+        self._out_shm: shared_memory.SharedMemory | None = None
+        self._retired: list[shared_memory.SharedMemory] = []
+        self._out_rows = 0
+        self._procs: list = []
+        self._ctrl_qs: list = []
+        if not self._serial:
+            self._start_workers(context)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _start_workers(self, context: str) -> None:
+        import multiprocessing as mp
+
+        ctx = mp.get_context(context)
+        published: dict[str, np.ndarray] = {}
+        published.update(_sweep_keys(self._engine.sweep))
+        published["up:first"] = self.ch.upward.first
+        published["up:arc_head"] = self.ch.upward.arc_head
+        published["up:arc_len"] = self.ch.upward.arc_len
+        for name, g in self._graphs.items():
+            published[f"g:{name}:first"] = g.first
+            published[f"g:{name}:arc_head"] = g.arc_head
+            published[f"g:{name}:arc_len"] = g.arc_len
+        for name, a in self._arrays.items():
+            published[f"a:{name}"] = a
+        self._shm, specs = _publish(published)
+        meta = {
+            "n": self.n,
+            "num_levels": self._engine.sweep.num_levels,
+            "reorder": self.reorder,
+            "k": self.k,
+            "graphs": list(self._graphs),
+            "arrays": list(self._arrays),
+        }
+        self._chunk_q = ctx.Queue()
+        self._result_q = ctx.Queue()
+        for w in range(self.num_workers):
+            cq = ctx.SimpleQueue()
+            p = ctx.Process(
+                target=_pool_worker,
+                args=(
+                    w, self._shm.name, specs, meta, cq, self._chunk_q,
+                    self._result_q,
+                ),
+                daemon=True,
+            )
+            p.start()
+            self._ctrl_qs.append(cq)
+            self._procs.append(p)
+
+    def close(self) -> None:
+        """Shut workers down and unlink every shared-memory segment.
+
+        Idempotent; also invoked by ``__exit__`` and the finalizer, so
+        an exception inside a ``with`` block cannot leak ``/dev/shm``
+        segments.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for cq in self._ctrl_qs:
+            try:
+                cq.put(None)
+            except (OSError, ValueError):
+                pass
+        for p in self._procs:
+            p.join(timeout=10)
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=5)
+        for shm in (self._shm, self._out_shm):
+            if shm is not None:
+                try:
+                    shm.unlink()
+                except FileNotFoundError:
+                    pass
+                try:
+                    shm.close()
+                except BufferError:
+                    # A caller still holds a view; the name is already
+                    # unlinked, the mapping dies with the last view.
+                    pass
+        for shm in self._retired:
+            try:
+                shm.close()
+            except BufferError:
+                pass
+        self._shm = self._out_shm = None
+        self._retired = []
+        if not self._serial:
+            self._chunk_q.close()
+            self._result_q.close()
+
+    def _retire(self, shm: shared_memory.SharedMemory) -> None:
+        """Unlink a superseded segment, deferring close past live views."""
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        try:
+            shm.close()
+        except BufferError:
+            self._retired.append(shm)
+
+    def __enter__(self) -> "PhastPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    @property
+    def serial(self) -> bool:
+        """True when batches run in-process (no worker processes)."""
+        return self._serial
+
+    @property
+    def fell_back(self) -> bool:
+        """True when a multi-worker request degraded to serial (1 CPU)."""
+        return self._fell_back
+
+    # -- output buffers ----------------------------------------------------
+
+    def alloc_output(self, rows: int) -> np.ndarray:
+        """A ``(rows, n)`` int64 matrix workers can write in place.
+
+        The pool owns one reusable output segment; a second call (or a
+        larger :meth:`trees` batch) may remap it, invalidating earlier
+        views — treat the returned array as valid until the next batch.
+        """
+        if rows < 1:
+            raise ValueError("rows must be >= 1")
+        if self._serial:
+            return np.empty((rows, self.n), dtype=np.int64)
+        nbytes = rows * self.n * 8
+        if self._out_shm is None or self._out_rows < rows:
+            if self._out_shm is not None:
+                self._retire(self._out_shm)
+            self._out_shm = shared_memory.SharedMemory(
+                create=True, size=max(nbytes, 1)
+            )
+            self._out_rows = rows
+        full = np.ndarray(
+            (self._out_rows, self.n), dtype=np.int64, buffer=self._out_shm.buf
+        )
+        return full[:rows]
+
+    def _own_output(self, out: np.ndarray, rows: int) -> bool:
+        if self._serial:
+            return True
+        if self._out_shm is None:
+            return False
+        full = np.ndarray(
+            (self._out_rows, self.n), dtype=np.int64, buffer=self._out_shm.buf
+        )
+        return bool(np.shares_memory(out, full))
+
+    # -- execution ---------------------------------------------------------
+
+    def trees(
+        self, sources: Sequence[int], *, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """All distances for every source, written into shared rows.
+
+        Returns a ``(len(sources), n)`` view (row ``i`` = distances
+        from ``sources[i]``, indexed by original vertex ID).  ``out``
+        may be a matrix from :meth:`alloc_output` to control the
+        buffer's lifetime; by default the pool's internal buffer is
+        (re)used, so copy rows you need to keep across batches.
+        """
+        sources = [int(s) for s in sources]
+        if not sources:
+            return np.empty((0, self.n), dtype=np.int64)
+        rows = len(sources)
+        if out is None:
+            out = self.alloc_output(rows)
+        else:
+            if out.shape != (rows, self.n) or out.dtype != np.int64:
+                raise ValueError(
+                    f"out must be a ({rows}, {self.n}) int64 matrix"
+                )
+            if not self._own_output(out, rows):
+                raise ValueError(
+                    "out must come from this pool's alloc_output() so "
+                    "workers can reach it"
+                )
+        self._execute({"mode": "dist"}, sources, out)
+        return out
+
+    def reduce(self, sources: Sequence[int], reducer: TreeReducer):
+        """Fold every tree through ``reducer`` inside the workers."""
+        sources = [int(s) for s in sources]
+        if not sources:
+            return reducer.merge([])
+        states = self._execute({"mode": "reduce", "reducer": reducer}, sources)
+        return reducer.merge(states)
+
+    def map(self, sources: Sequence[int], fn: Callable[[int, np.ndarray], object]) -> list:
+        """Apply ``fn(source, dist)`` per tree in the workers, in order.
+
+        ``fn`` must be picklable (module-level) when worker processes
+        are active; use :meth:`trees` + a parent-side loop otherwise.
+        """
+        sources = [int(s) for s in sources]
+        if not sources:
+            return []
+        parts = self._execute({"mode": "map", "fn": fn}, sources)
+        merged: dict[int, object] = {}
+        for part in parts:
+            merged.update(part)
+        return [merged[i] for i in range(len(sources))]
+
+    # -- internals ---------------------------------------------------------
+
+    def _chunks(self, sources: list[int]) -> list[tuple[int, list[int]]]:
+        size = self.chunk_size
+        if size is None:
+            per = -(-len(sources) // (self.num_workers * 4))
+            size = max(self.k, min(64, per))
+            size = self.k * (-(-size // self.k))
+        return [
+            (i, sources[i : i + size]) for i in range(0, len(sources), size)
+        ]
+
+    def _execute(self, batch: dict, sources: list[int], out=None):
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        self.batches_run += 1
+        self.trees_computed += len(sources)
+        if self._serial:
+            return self._execute_serial(batch, sources, out)
+        self._batch_counter += 1
+        batch = dict(batch)
+        batch["id"] = self._batch_counter
+        if batch["mode"] == "dist":
+            batch["out_name"] = self._out_shm.name
+            batch["out_rows"] = self._out_rows
+        for cq in self._ctrl_qs:
+            cq.put(batch)
+        for chunk in self._chunks(sources):
+            self._chunk_q.put(chunk)
+        for _ in range(self.num_workers):
+            self._chunk_q.put(None)
+        payloads, errors = [], []
+        pending = self.num_workers
+        while pending:
+            msg = self._collect_one()
+            batch_id, _worker, status, payload = msg
+            if status == "error":
+                errors.append(payload)
+                if batch_id is not None:
+                    pending -= 1
+            elif batch_id == batch["id"]:
+                payloads.append(payload)
+                pending -= 1
+            # Stale messages from an aborted earlier batch are dropped.
+            if errors and batch_id is None:
+                break
+        if errors:
+            raise RuntimeError(
+                "pool worker failed:\n" + "\n".join(errors)
+            )
+        if batch["mode"] == "dist":
+            return None
+        return payloads
+
+    def _collect_one(self):
+        import queue as _queue
+
+        while True:
+            try:
+                return self._result_q.get(timeout=1.0)
+            except _queue.Empty:
+                dead = [p for p in self._procs if not p.is_alive()]
+                if dead:
+                    raise RuntimeError(
+                        f"{len(dead)} pool worker(s) died unexpectedly "
+                        f"(exit codes {[p.exitcode for p in dead]})"
+                    )
+
+    def _execute_serial(self, batch: dict, sources: list[int], out=None):
+        ctx = WorkerContext(self.n, {}, self._arrays, graphs=self._graphs)
+        engine = self._engine
+        k = self.k
+        mode = batch["mode"]
+        reducer = batch.get("reducer")
+        fn = batch.get("fn")
+        state = reducer.make_state(ctx) if mode == "reduce" else None
+        results: dict[int, object] = {}
+        for i in range(0, len(sources), k):
+            sub = sources[i : i + k]
+            if mode == "dist":
+                if len(sub) == 1:
+                    engine.tree(sub[0], dist_out=out[i])
+                else:
+                    engine.trees(sub, out=out[i : i + len(sub)])
+                continue
+            if len(sub) == 1:
+                rows = engine.tree(sub[0]).dist[None, :]
+            else:
+                rows = engine.trees(sub)
+            for j, (s, row) in enumerate(zip(sub, rows)):
+                if mode == "reduce":
+                    state = reducer.fold(ctx, state, i + j, s, row)
+                else:
+                    results[i + j] = fn(s, row)
+        if mode == "dist":
+            return None
+        if mode == "reduce":
+            return [reducer.finish(ctx, state)]
+        return [results]
+
+
+def picklable(obj) -> bool:
+    """True when ``obj`` survives a pickle round trip (worker transport)."""
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False

@@ -122,6 +122,42 @@ class SweepStructure:
         if m <= np.iinfo(np.int32).max:
             self.arc_first = self.arc_first.astype(np.int32)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        *,
+        n: int,
+        num_levels: int,
+        pos_of: np.ndarray,
+        vertex_at: np.ndarray,
+        level_first: np.ndarray,
+        arc_first: np.ndarray,
+        arc_tail_pos: np.ndarray,
+        arc_len: np.ndarray,
+        arc_via: np.ndarray,
+        level_of_pos: np.ndarray,
+    ) -> "SweepStructure":
+        """Wrap prebuilt sweep arrays without re-sorting anything.
+
+        Used by :class:`~repro.core.pool.PhastPool` workers, which
+        receive the arrays as zero-copy shared-memory views: the
+        structure is built once in the parent and merely re-wrapped
+        here, so attaching costs O(1) instead of an O(n log n) rebuild
+        per worker.
+        """
+        self = cls.__new__(cls)
+        self.n = int(n)
+        self.num_levels = int(num_levels)
+        self.pos_of = pos_of
+        self.vertex_at = vertex_at
+        self.level_first = level_first
+        self.arc_first = arc_first
+        self.arc_tail_pos = arc_tail_pos
+        self.arc_len = arc_len
+        self.arc_via = arc_via
+        self.level_of_pos = level_of_pos
+        return self
+
     @property
     def num_arcs(self) -> int:
         """Downward arcs scanned per sweep."""

@@ -78,7 +78,7 @@ class StaticGraph:
     IDs), which is what PHAST's downward sweep scans.
     """
 
-    __slots__ = ("n", "m", "first", "arc_head", "arc_len")
+    __slots__ = ("n", "m", "first", "arc_head", "arc_len", "_arc_tails")
 
     def __init__(
         self,
@@ -156,8 +156,20 @@ class StaticGraph:
             yield int(self.arc_head[i]), int(self.arc_len[i])
 
     def arc_tails(self) -> np.ndarray:
-        """Expand the CSR structure back into a per-arc tail array."""
-        return np.repeat(np.arange(self.n, dtype=np.int64), np.diff(self.first))
+        """Expand the CSR structure back into a per-arc tail array.
+
+        Memoized: the O(m) ``np.repeat`` expansion is computed once and
+        the (read-only) array reused — tree-per-source workloads call
+        this once per tree otherwise.
+        """
+        try:
+            return self._arc_tails
+        except AttributeError:
+            pass
+        tails = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(self.first))
+        tails.setflags(write=False)
+        self._arc_tails = tails
+        return tails
 
     def arcs(self) -> Iterator[tuple[int, int, int]]:
         """Iterate all arcs as ``(tail, head, length)`` triples."""

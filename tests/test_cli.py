@@ -62,6 +62,35 @@ def test_preprocess_and_tree(tmp_path, artifacts, capsys):
         )
 
 
+def test_batch(tmp_path, artifacts, small_road, capsys):
+    gpath, cpath = artifacts
+    out = tmp_path / "mat.npz"
+    rc = main(
+        [
+            "batch", str(gpath), str(cpath),
+            "--sources", "0,5,9", "--sweep-k", "2",
+            "--force-pool", "--workers", "2", "-o", str(out),
+        ]
+    )
+    assert rc == 0
+    assert "trees/s" in capsys.readouterr().out
+    with np.load(out) as data:
+        from repro.sssp import dijkstra
+
+        assert data["sources"].tolist() == [0, 5, 9]
+        for i, s in enumerate((0, 5, 9)):
+            assert np.array_equal(
+                data["dist"][i],
+                dijkstra(small_road, s, with_parents=False).dist,
+            )
+
+
+def test_batch_random_sources(artifacts, capsys):
+    gpath, cpath = artifacts
+    assert main(["batch", str(gpath), str(cpath), "--count", "6"]) == 0
+    assert "6 trees" in capsys.readouterr().out
+
+
 def test_query(artifacts, capsys):
     gpath, cpath = artifacts
     rc = main(

@@ -36,6 +36,20 @@ def test_arcs_grouped_by_tail():
     assert set(g.arcs()) == {(2, 0, 1), (0, 1, 2), (1, 2, 3), (0, 2, 4)}
 
 
+def test_arc_tails_memoized_and_read_only():
+    g = StaticGraph(3, [2, 0, 1, 0], [0, 1, 2, 2], [1, 2, 3, 4])
+    tails = g.arc_tails()
+    assert g.arc_tails() is tails  # cached expansion
+    with pytest.raises(ValueError):
+        tails[0] = 99  # shared between callers, so frozen
+    # Pickling must survive the optional cache slot either way.
+    import pickle
+
+    assert pickle.loads(pickle.dumps(g)) == g
+    fresh = StaticGraph(3, [2, 0, 1, 0], [0, 1, 2, 2], [1, 2, 3, 4])
+    assert pickle.loads(pickle.dumps(fresh)) == fresh
+
+
 def test_stable_order_within_tail():
     # Arcs sharing a tail keep insertion order (stable sort).
     g = StaticGraph(2, [0, 0, 0], [1, 1, 1], [3, 1, 2])

@@ -109,6 +109,27 @@ def test_resolve_workers_single_cpu_fallback(monkeypatch):
     assert resolve_workers(None) == (8, False)
 
 
+def test_resolve_workers_cap_overrides(monkeypatch):
+    import os
+
+    from repro.core import resolve_workers
+
+    monkeypatch.setattr(os, "cpu_count", lambda: 64)
+    monkeypatch.delenv("REPRO_MAX_WORKERS", raising=False)
+    # Default cap stays 8, but both override channels lift it.
+    assert resolve_workers(None) == (8, False)
+    assert resolve_workers(None, max_workers=32) == (32, False)
+    monkeypatch.setenv("REPRO_MAX_WORKERS", "16")
+    assert resolve_workers(None) == (16, False)
+    # The explicit argument wins over the environment.
+    assert resolve_workers(None, max_workers=24) == (24, False)
+    # An explicit worker count is honoured as-is, above any cap.
+    assert resolve_workers(48) == (48, False)
+    # Caps never exceed the machine.
+    monkeypatch.setenv("REPRO_MAX_WORKERS", "128")
+    assert resolve_workers(None) == (64, False)
+
+
 def test_trees_per_core_force_pool(road, road_ch):
     """The multiprocessing path stays exercised even on 1-CPU hosts,
     where multi-worker requests normally fall back to serial."""
