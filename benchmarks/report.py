@@ -14,6 +14,8 @@ from __future__ import annotations
 import sys
 import time
 
+from repro.utils import LatencyHistogram
+
 import bench_ablations
 import bench_applications
 import bench_batch_queries
@@ -22,6 +24,7 @@ import bench_fig1_levels
 import bench_highway_dimension
 import bench_lower_bound
 import bench_rphast
+import bench_server
 import bench_table1_single_tree
 import bench_table2_multi_tree
 import bench_table3_gphast
@@ -46,6 +49,7 @@ EXPERIMENTS = {
     "rphast": bench_rphast.run,
     "batch_queries": bench_batch_queries.run,
     "highway_dimension": bench_highway_dimension.run,
+    "server": bench_server.run,
 }
 
 
@@ -54,11 +58,20 @@ def main(argv: list[str]) -> None:
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         raise SystemExit(f"unknown experiments {unknown}; known: {list(EXPERIMENTS)}")
+    durations = LatencyHistogram()
     for name in names:
         start = time.perf_counter()
         print(f"\n{'#' * 70}\n# {name}\n{'#' * 70}")
         EXPERIMENTS[name]()
-        print(f"[{name} done in {time.perf_counter() - start:.1f}s]")
+        elapsed = time.perf_counter() - start
+        durations.observe(elapsed)
+        print(f"[{name} done in {elapsed:.1f}s]")
+    if durations.summary().get("count", 0) > 1:
+        s = durations.summary()
+        print(
+            f"\n{len(names)} experiments; per-experiment wall time "
+            f"p50 {s['p50_ms'] / 1e3:.1f}s / max {s['max_ms'] / 1e3:.1f}s"
+        )
 
 
 if __name__ == "__main__":

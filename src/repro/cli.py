@@ -10,15 +10,22 @@ subcommands::
     python -m repro query map.npz map.ch.npz --source 0 --target 4095
     python -m repro stats map.npz map.ch.npz
     python -m repro convert map.gr -o map.npz        # DIMACS import
+    python -m repro serve map.npz map.ch.npz --port 7171
+    python -m repro client --port 7171 --op query --source 0 --target 4095
 
 Graphs and hierarchies travel as ``.npz`` artifacts
 (:mod:`repro.graph.serialize`); DIMACS ``.gr`` files are accepted
 wherever a graph is expected.
+
+Operational errors (missing files, stale artifacts, out-of-range
+vertex ids, unreachable servers) exit with status 2 and one ``error:``
+line on stderr instead of a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -34,6 +41,12 @@ def _load_graph(path: str):
     if str(path).endswith(".gr"):
         return read_gr(path)
     return load_graph(path)
+
+
+def _check_vertex(value: int, n: int, what: str) -> int:
+    if not 0 <= value < n:
+        raise ValueError(f"{what} {value} out of range [0, {n})")
+    return int(value)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -83,6 +96,7 @@ def _cmd_tree(args: argparse.Namespace) -> int:
 
     graph = _load_graph(args.graph)
     ch = load_hierarchy(args.hierarchy)
+    _check_vertex(args.source, ch.n, "--source")
     engine = PhastEngine(ch)
     engine.tree(args.source)  # warm up
     start = time.perf_counter()
@@ -107,7 +121,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     ch = load_hierarchy(args.hierarchy)
     if args.sources:
-        sources = [int(s) for s in args.sources.split(",")]
+        try:
+            sources = [int(s) for s in args.sources.split(",")]
+        except ValueError:
+            raise ValueError(
+                f"--sources must be comma-separated integers "
+                f"(got {args.sources!r})"
+            ) from None
+        for s in sources:
+            _check_vertex(s, ch.n, "source")
     else:
         rng = np.random.default_rng(args.seed)
         sources = rng.choice(graph.n, size=min(args.count, graph.n),
@@ -146,6 +168,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from .graph.csr import INF
 
     ch = load_hierarchy(args.hierarchy)
+    _check_vertex(args.source, ch.n, "--source")
+    _check_vertex(args.target, ch.n, "--target")
     start = time.perf_counter()
     q = ch_query(
         ch, args.source, args.target, unpack=args.path, stall=args.stall
@@ -181,6 +205,202 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             f"hierarchy: {ch.num_shortcuts} shortcuts, {ch.num_levels} "
             f"levels, level 0 holds {hist[0] / ch.n:.0%} of vertices"
         )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .core.pool import install_signal_guard
+    from .graph import load_hierarchy
+    from .server import PhastService, ServerConfig
+
+    graph = _load_graph(args.graph)
+    ch = load_hierarchy(args.hierarchy)
+    if ch.n != graph.n:
+        raise ValueError(
+            f"graph has {graph.n} vertices but hierarchy has {ch.n}; "
+            "the artifacts do not belong together"
+        )
+    if args.sweep_k < 0:
+        raise ValueError(f"--sweep-k must be >= 0 (got {args.sweep_k})")
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        batch_max=args.batch_max,
+        max_wait_ms=args.max_wait_ms,
+        batching=not args.no_batching,
+        max_pending=args.max_pending,
+        default_timeout_ms=args.timeout_ms if args.timeout_ms > 0 else None,
+        num_workers=args.workers,
+        sources_per_sweep=args.sweep_k,
+        force_pool=args.force_pool,
+    )
+    service = PhastService(ch, graph=graph, config=config)
+    # Belt and braces: the drain path unlinks the pool's shared memory,
+    # but a signal that lands before/outside the loop must not leak it.
+    install_signal_guard()
+
+    async def _serve() -> None:
+        await service.start()
+        mode = "micro-batching" if config.batching else "batching off"
+        print(
+            f"serving {args.graph} (n={graph.n}, m={graph.m}) on "
+            f"{service.host}:{service.port} — {mode}, "
+            f"batch_max={config.batch_max}, wait={config.max_wait_ms}ms, "
+            f"{service.pool.num_workers} worker(s)"
+            f"{' [serial pool]' if service.pool.serial else ''}",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    sig, lambda: asyncio.ensure_future(service.drain())
+                )
+            except (NotImplementedError, RuntimeError):
+                pass
+        await service.wait_drained()
+        snap = service.admission.snapshot()
+        print(
+            f"drained: {snap['admitted_total']} requests served, "
+            f"rejected {snap['rejected']}",
+            flush=True,
+        )
+
+    asyncio.run(_serve())
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from .server import ServerClient
+
+    if args.burst:
+        return _client_burst(args)
+    with ServerClient(
+        args.host, args.port, connect_retry_s=args.wait_ready
+    ) as client:
+        op = args.op.replace("-", "_")
+        if op == "ping":
+            print("pong" if client.ping() else "no pong")
+        elif op == "info":
+            print(json.dumps(client.info(), indent=2))
+        elif op == "metrics":
+            print(json.dumps(client.metrics(), indent=2))
+        elif op == "query":
+            _require_args(args, "source", "target")
+            resp = client.query(args.source, args.target, stall=args.stall)
+            if not resp["reachable"]:
+                print(f"{args.source} -> {args.target}: unreachable")
+                return 1
+            print(
+                f"{args.source} -> {args.target}: distance "
+                f"{resp['distance']} (settled {resp['settled']})"
+            )
+        elif op == "tree":
+            _require_args(args, "source")
+            dist = client.tree(args.source)
+            from .graph.csr import INF
+
+            reached = dist < INF
+            print(
+                f"source {args.source}: {int(reached.sum())}/{dist.size} "
+                f"reached, max distance {int(dist[reached].max())}"
+            )
+            if args.output:
+                np.savez_compressed(args.output, source=args.source, dist=dist)
+                print(f"labels written to {args.output}")
+        elif op == "one_to_many":
+            _require_args(args, "source", "targets")
+            targets = [int(t) for t in args.targets.split(",")]
+            dist = client.one_to_many(args.source, targets)
+            for t, d in zip(targets, dist):
+                print(f"{args.source} -> {t}: {int(d)}")
+        elif op == "isochrone":
+            _require_args(args, "source", "budget")
+            vertices = client.isochrone(args.source, args.budget)
+            print(
+                f"{vertices.size} vertices within {args.budget} of "
+                f"{args.source}"
+            )
+        else:  # pragma: no cover - argparse restricts choices
+            raise ValueError(f"unknown op {args.op!r}")
+    return 0
+
+
+def _require_args(args: argparse.Namespace, *names: str) -> None:
+    for name in names:
+        if getattr(args, name) is None:
+            raise ValueError(f"--{name.replace('_', '-')} is required for "
+                             f"--op {args.op}")
+
+
+def _client_burst(args: argparse.Namespace) -> int:
+    """Closed-loop mixed-workload burst (the CI smoke driver)."""
+    import threading
+
+    from .server import ServerClient, ServerError
+    from .utils.timing import LatencyHistogram
+
+    ops = [op.strip().replace("-", "_") for op in args.mix.split(",") if op.strip()]
+    known = {"query", "tree", "one_to_many", "isochrone"}
+    unknown = set(ops) - known
+    if not ops or unknown:
+        raise ValueError(f"--mix must name ops from {sorted(known)}")
+    with ServerClient(args.host, args.port,
+                      connect_retry_s=args.wait_ready) as probe:
+        n = probe.info()["n"]
+    per_thread = -(-args.burst // args.threads)
+    hists = [LatencyHistogram() for _ in range(args.threads)]
+    failures: list[str] = []
+
+    def worker(tid: int) -> None:
+        rng = np.random.default_rng(args.seed + tid)
+        try:
+            with ServerClient(args.host, args.port) as client:
+                for i in range(per_thread):
+                    op = ops[i % len(ops)]
+                    s = int(rng.integers(n))
+                    t0 = time.perf_counter()
+                    if op == "query":
+                        client.query(s, int(rng.integers(n)))
+                    elif op == "tree":
+                        client.tree(s)
+                    elif op == "one_to_many":
+                        k = min(8, n)
+                        client.one_to_many(
+                            s, rng.choice(n, size=k, replace=False)
+                        )
+                    else:
+                        client.isochrone(s, int(rng.integers(1, 10_000)))
+                    hists[tid].observe(time.perf_counter() - t0)
+        except (ServerError, ConnectionError, OSError) as exc:
+            failures.append(f"thread {tid}: {exc}")
+
+    threads = [
+        threading.Thread(target=worker, args=(tid,), daemon=True)
+        for tid in range(args.threads)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    total = LatencyHistogram()
+    for h in hists:
+        total.merge(h)
+    summary = total.summary()
+    print(
+        f"{total.count} requests ({args.threads} threads, mix {','.join(ops)}) "
+        f"in {elapsed:.2f}s: {total.count / elapsed:.1f} req/s, "
+        f"p50 {summary.get('p50_ms', 0)} ms, p99 {summary.get('p99_ms', 0)} ms"
+    )
+    if failures:
+        for line in failures:
+            print(f"error: {line}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -257,13 +477,92 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("hierarchy", nargs="?")
     s.set_defaults(func=_cmd_stats)
 
+    sv = sub.add_parser(
+        "serve", help="long-lived query service with dynamic micro-batching"
+    )
+    sv.add_argument("graph")
+    sv.add_argument("hierarchy")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=7171,
+                    help="TCP port (0 = ephemeral)")
+    sv.add_argument("--batch-max", type=int, default=16,
+                    help="max sources coalesced into one sweep")
+    sv.add_argument("--max-wait-ms", type=float, default=2.0,
+                    help="micro-batch window in milliseconds")
+    sv.add_argument("--no-batching", action="store_true",
+                    help="dispatch one request per sweep (ablation)")
+    sv.add_argument("--max-pending", type=int, default=256,
+                    help="admission bound on in-flight work requests")
+    sv.add_argument("--timeout-ms", type=float, default=30_000.0,
+                    help="default per-request deadline (<= 0 disables)")
+    sv.add_argument("--workers", type=int, default=1,
+                    help="pool worker processes (1 = in-process)")
+    sv.add_argument("--sweep-k", type=int, default=0,
+                    help="pool lanes per sweep pass (default: batch-max)")
+    sv.add_argument("--force-pool", action="store_true",
+                    help="spawn workers even on a single-CPU host")
+    sv.set_defaults(func=_cmd_serve)
+
+    cl = sub.add_parser("client", help="query a running repro server")
+    cl.add_argument("--host", default="127.0.0.1")
+    cl.add_argument("--port", type=int, default=7171)
+    cl.add_argument("--wait-ready", type=float, default=0.0,
+                    help="retry the first connection for this many seconds")
+    cl.add_argument(
+        "--op",
+        choices=("ping", "info", "metrics", "query", "tree",
+                 "one-to-many", "isochrone"),
+        default="ping",
+    )
+    cl.add_argument("--source", type=int)
+    cl.add_argument("--target", type=int)
+    cl.add_argument("--targets", help="comma-separated ids (one-to-many)")
+    cl.add_argument("--budget", type=int, help="isochrone time budget")
+    cl.add_argument("--stall", action="store_true", help="stall-on-demand")
+    cl.add_argument("-o", "--output", help="write tree labels (.npz)")
+    cl.add_argument("--burst", type=int, default=0,
+                    help="closed-loop burst: total request count")
+    cl.add_argument("--threads", type=int, default=4,
+                    help="burst client threads")
+    cl.add_argument("--mix", default="query,tree,one_to_many,isochrone",
+                    help="burst op mix (comma-separated)")
+    cl.add_argument("--seed", type=int, default=0)
+    cl.set_defaults(func=_cmd_client)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point (``python -m repro`` / the ``repro`` script)."""
+    """Entry point (``python -m repro`` / the ``repro`` script).
+
+    Operational failures (bad paths, stale artifacts, out-of-range
+    ids, refused connections) are reported as one ``error:`` line and
+    exit status 2 — a traceback from the CLI is always a bug.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        print("error: interrupted", file=sys.stderr)
+        return 130
+    except (FileNotFoundError, IsADirectoryError, PermissionError) as exc:
+        filename = getattr(exc, "filename", None)
+        print(f"error: {filename or exc}: {exc.strerror or 'cannot open'}",
+              file=sys.stderr)
+        return 2
+    except (ConnectionError, TimeoutError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except RuntimeError as exc:
+        from .server import ProtocolError, ServerError
+
+        if isinstance(exc, (ServerError, ProtocolError)):
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        raise
 
 
 if __name__ == "__main__":

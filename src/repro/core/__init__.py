@@ -9,7 +9,7 @@ from .parallel import (
     trees_per_core,
 )
 from .phast import PhastEngine, phast_scalar
-from .pool import PhastPool, TreeReducer, WorkerContext
+from .pool import PhastPool, TreeReducer, WorkerContext, install_signal_guard
 from .rphast import RPhastEngine
 from .sweep import SweepStructure
 from .trees import (
@@ -30,6 +30,7 @@ __all__ = [
     "PhastPool",
     "TreeReducer",
     "WorkerContext",
+    "install_signal_guard",
     "trees_per_core",
     "tree_level_parallel",
     "block_boundaries",

@@ -22,6 +22,8 @@ globally reset.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from ..ch.hierarchy import ContractionHierarchy
@@ -77,11 +79,21 @@ class PhastEngine:
         reorder: bool = True,
         explicit_init: bool = False,
         sweep: SweepStructure | None = None,
+        search_cache: int = 0,
     ) -> None:
         self.ch = ch
         self.sweep = SweepStructure(ch) if sweep is None else sweep
         self.reorder = bool(reorder)
         self.explicit_init = bool(explicit_init)
+        # LRU of upward CH search spaces.  The space of a source is a
+        # pure function of the (read-only) hierarchy, and computing it
+        # is the only per-source scalar work of a sweep — a server
+        # answering repeat origins (depots, hubs, popular tiles) skips
+        # it entirely on a hit.  ~a few KB per entry.
+        self._search_cache_cap = int(search_cache)
+        self._search_cache: "OrderedDict[int, tuple]" = OrderedDict()
+        self.search_cache_hits = 0
+        self.search_cache_misses = 0
         n = ch.n
         if self.reorder:
             self._tails = self.sweep.arc_tail_pos
@@ -135,11 +147,26 @@ class PhastEngine:
         self, source: int
     ) -> tuple[np.ndarray, np.ndarray]:
         """CH search space as (sorted sweep positions, labels)."""
+        if self._search_cache_cap:
+            cached = self._search_cache.get(source)
+            if cached is not None:
+                self._search_cache.move_to_end(source)
+                self.search_cache_hits += 1
+                self.last_stats["ch_search_size"] = cached[0].size
+                return cached
+            self.search_cache_misses += 1
         space = upward_search(self.ch, source)
         pos = self.sweep.pos_of[space.vertices]
         order = np.argsort(pos)
         self.last_stats["ch_search_size"] = space.size
-        return pos[order], space.dists[order]
+        result = (pos[order], space.dists[order])
+        if self._search_cache_cap:
+            for arr in result:
+                arr.flags.writeable = False
+            self._search_cache[source] = result
+            if len(self._search_cache) > self._search_cache_cap:
+                self._search_cache.popitem(last=False)
+        return result
 
     def _level_values(
         self,
@@ -365,7 +392,19 @@ class PhastEngine:
             self._dist_multi = np.empty((sw.n, k), dtype=np.int64)
         dist = self._dist_multi
         spaces = [self._search_by_position(int(s)) for s in sources]
-        pointers = [0] * k
+        # Merge the k upward search spaces into one position-sorted
+        # (pos, lane, value) stream so each level applies its marked
+        # entries with a single fancy-indexed minimum — the per-lane
+        # Python loop this replaces was a measurable slice of wide
+        # sweeps.
+        mpos = np.concatenate([sp[0] for sp in spaces])
+        mlane = np.concatenate(
+            [np.full(sp[0].size, j, dtype=np.int64) for j, sp in enumerate(spaces)]
+        )
+        mval = np.concatenate([sp[1] for sp in spaces])
+        order = np.argsort(mpos, kind="stable")
+        mpos, mlane, mval = mpos[order], mlane[order], mval[order]
+        mk = 0
         for i in range(sw.num_levels):
             lo, hi, alo, ahi, starts, nonempty = self._level_plans[i]
             cand = dist[self._tails[alo:ahi], :] + sw.arc_len[alo:ahi, None]
@@ -374,15 +413,14 @@ class PhastEngine:
                 seg = np.minimum.reduceat(cand, starts, axis=0)
                 np.minimum(seg, INF, out=seg)
                 values[nonempty] = seg
-            for j, (marked_pos, marked_val) in enumerate(spaces):
-                mk = pointers[j]
-                mk_hi = mk
-                while mk_hi < marked_pos.size and marked_pos[mk_hi] < hi:
-                    mk_hi += 1
-                if mk_hi > mk:
-                    idx = marked_pos[mk:mk_hi] - lo
-                    np.minimum.at(values[:, j], idx, marked_val[mk:mk_hi])
-                pointers[j] = mk_hi
+            mk_hi = int(np.searchsorted(mpos, hi, side="left"))
+            if mk_hi > mk:
+                np.minimum.at(
+                    values,
+                    (mpos[mk:mk_hi] - lo, mlane[mk:mk_hi]),
+                    mval[mk:mk_hi],
+                )
+                mk = mk_hi
             dist[lo:hi, :] = values
         if out is None:
             out = np.empty((k, sw.n), dtype=np.int64)

@@ -37,9 +37,12 @@ The pool is the batch layer the applications
 
 from __future__ import annotations
 
+import atexit
 import os
 import pickle
+import signal
 import traceback
+import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Callable, Mapping, Sequence
@@ -52,7 +55,80 @@ from .parallel import resolve_workers
 from .phast import PhastEngine
 from .sweep import SweepStructure
 
-__all__ = ["PhastPool", "TreeReducer", "WorkerContext"]
+__all__ = [
+    "PhastPool",
+    "TreeReducer",
+    "WorkerContext",
+    "install_signal_guard",
+]
+
+
+# ---------------------------------------------------------------------------
+# Teardown guard
+#
+# A shared-memory segment outlives its creating process unless someone
+# unlinks it: a SIGTERM that kills the parent mid-batch would leave the
+# published hierarchy (tens of MB at scale) pinned in /dev/shm forever.
+# Every live pool registers here; ``atexit`` covers normal interpreter
+# exits (including unhandled exceptions), and :func:`install_signal_guard`
+# covers hard interrupts for long-lived processes such as ``repro serve``.
+
+_LIVE_POOLS: "weakref.WeakSet[PhastPool]" = weakref.WeakSet()
+_GUARDED_SIGNALS: dict = {}
+
+
+def _close_live_pools(emergency: bool = False) -> None:
+    for pool in list(_LIVE_POOLS):
+        try:
+            if emergency:
+                pool._emergency_close()
+            else:
+                pool.close()
+        except Exception:
+            pass
+
+
+atexit.register(_close_live_pools)
+
+
+def _guard_handler(signum, frame):
+    # Emergency path: the interrupted main thread may be parked inside
+    # a queue ``put``/``get`` holding that queue's non-reentrant lock,
+    # so the graceful close (which talks to workers over those queues)
+    # could deadlock the handler.  Kill workers directly and unlink.
+    _close_live_pools(emergency=True)
+    prev = _GUARDED_SIGNALS.pop(signum, signal.SIG_DFL)
+    if callable(prev):
+        signal.signal(signum, prev)
+        prev(signum, frame)
+    elif prev is signal.SIG_IGN:
+        signal.signal(signum, prev)
+    else:
+        # Re-deliver with the default action so exit codes / shell
+        # semantics are exactly those of an unguarded process.
+        signal.signal(signum, signal.SIG_DFL)
+        os.kill(os.getpid(), signum)
+
+
+def install_signal_guard(signums: Sequence[int] = (signal.SIGINT, signal.SIGTERM)) -> None:
+    """Unlink every live pool's segments before dying of a signal.
+
+    Chains to (and then restores) the handler that was installed
+    before, so guarded processes keep their normal signal semantics —
+    ``SIGINT`` still raises ``KeyboardInterrupt``, ``SIGTERM`` still
+    terminates with the conventional exit status.  Idempotent; only
+    callable from the main thread (a no-op elsewhere, matching
+    ``signal.signal`` rules).
+    """
+    for signum in signums:
+        if signum in _GUARDED_SIGNALS:
+            continue
+        try:
+            prev = signal.getsignal(signum)
+            signal.signal(signum, _guard_handler)
+        except (ValueError, OSError):  # non-main thread / exotic signum
+            continue
+        _GUARDED_SIGNALS[signum] = prev
 
 
 # ---------------------------------------------------------------------------
@@ -254,7 +330,10 @@ def _build_worker_state(views: dict[str, np.ndarray], meta: dict):
         views["up:first"], views["up:arc_head"], views["up:arc_len"]
     )
     ch = _WorkerHierarchy(n, upward)
-    engine = PhastEngine(ch, reorder=meta["reorder"], sweep=sweep)
+    engine = PhastEngine(
+        ch, reorder=meta["reorder"], sweep=sweep,
+        search_cache=meta.get("search_cache", 0),
+    )
     graph_arrays = {
         name: (
             views[f"g:{name}:first"],
@@ -401,6 +480,11 @@ class PhastPool:
         cell assignment).
     reorder:
         Passed through to every worker's engine.
+    search_cache:
+        Capacity of each engine's LRU cache of upward CH search
+        spaces (0 disables, the default).  Worth enabling for serving
+        workloads where sources repeat — the per-source scalar search
+        is then paid once per distinct origin.
     chunk_size:
         Sources per work-queue chunk; default balances ~4 chunks per
         worker, rounded to a multiple of ``sources_per_sweep``.
@@ -418,6 +502,7 @@ class PhastPool:
         arrays: Mapping[str, np.ndarray] | None = None,
         reorder: bool = True,
         chunk_size: int | None = None,
+        search_cache: int = 0,
     ) -> None:
         if sources_per_sweep < 1:
             raise ValueError("sources_per_sweep must be >= 1")
@@ -426,6 +511,7 @@ class PhastPool:
         self.k = int(sources_per_sweep)
         self.reorder = bool(reorder)
         self.chunk_size = chunk_size
+        self.search_cache = int(search_cache)
         self._graphs = dict(graphs or {})
         self._arrays = {
             name: np.ascontiguousarray(a) for name, a in (arrays or {}).items()
@@ -447,7 +533,9 @@ class PhastPool:
 
         # Parent-side engine: the serial path runs on it, and the
         # process path publishes its sweep arrays (built exactly once).
-        self._engine = PhastEngine(ch, reorder=self.reorder)
+        self._engine = PhastEngine(
+            ch, reorder=self.reorder, search_cache=self.search_cache
+        )
 
         self._shm: shared_memory.SharedMemory | None = None
         self._out_shm: shared_memory.SharedMemory | None = None
@@ -457,6 +545,7 @@ class PhastPool:
         self._ctrl_qs: list = []
         if not self._serial:
             self._start_workers(context)
+        _LIVE_POOLS.add(self)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -481,6 +570,7 @@ class PhastPool:
             "num_levels": self._engine.sweep.num_levels,
             "reorder": self.reorder,
             "k": self.k,
+            "search_cache": self.search_cache,
             "graphs": list(self._graphs),
             "arrays": list(self._arrays),
         }
@@ -520,6 +610,39 @@ class PhastPool:
             if p.is_alive():
                 p.terminate()
                 p.join(timeout=5)
+        self._unlink_segments()
+        if not self._serial:
+            self._chunk_q.close()
+            self._result_q.close()
+
+    def _emergency_close(self) -> None:
+        """Signal-safe teardown: kill workers, unlink, touch no queues.
+
+        Runs inside the :func:`install_signal_guard` handler, i.e. on
+        top of an interrupted main-thread frame that may hold a queue
+        lock mid-``put``.  Everything here is lock-free with respect to
+        the queues: ``terminate`` is a plain ``kill(2)``, ``join`` a
+        ``waitpid``, and unlinking only touches ``/dev/shm`` names.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for p in self._procs:
+            try:
+                p.terminate()
+            except Exception:
+                pass
+        for p in self._procs:
+            try:
+                p.join(timeout=5)
+                if p.is_alive():
+                    p.kill()
+                    p.join(timeout=5)
+            except Exception:
+                pass
+        self._unlink_segments()
+
+    def _unlink_segments(self) -> None:
         for shm in (self._shm, self._out_shm):
             if shm is not None:
                 try:
@@ -539,9 +662,6 @@ class PhastPool:
                 pass
         self._shm = self._out_shm = None
         self._retired = []
-        if not self._serial:
-            self._chunk_q.close()
-            self._result_q.close()
 
     def _retire(self, shm: shared_memory.SharedMemory) -> None:
         """Unlink a superseded segment, deferring close past live views."""

@@ -22,7 +22,13 @@ from .generators import (
     star_graph,
     usa_like,
 )
-from .serialize import load_graph, load_hierarchy, save_graph, save_hierarchy
+from .serialize import (
+    ArtifactFormatError,
+    load_graph,
+    load_hierarchy,
+    save_graph,
+    save_hierarchy,
+)
 from .reorder import (
     compose_permutations,
     dfs_order,
@@ -72,6 +78,7 @@ __all__ = [
     "long_path_hitting_set",
     "sample_shortest_paths",
     "save_graph",
+    "ArtifactFormatError",
     "load_graph",
     "save_hierarchy",
     "load_hierarchy",

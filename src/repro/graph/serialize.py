@@ -14,10 +14,48 @@ import numpy as np
 
 from .csr import StaticGraph
 
-__all__ = ["save_graph", "load_graph", "save_hierarchy", "load_hierarchy"]
+__all__ = [
+    "save_graph",
+    "load_graph",
+    "save_hierarchy",
+    "load_hierarchy",
+    "ArtifactFormatError",
+]
 
-_GRAPH_MAGIC = "repro-graph-v1"
-_CH_MAGIC = "repro-ch-v1"
+_GRAPH_MAGIC_PREFIX = "repro-graph-v"
+_CH_MAGIC_PREFIX = "repro-ch-v"
+_GRAPH_MAGIC = _GRAPH_MAGIC_PREFIX + "1"
+_CH_MAGIC = _CH_MAGIC_PREFIX + "1"
+
+
+class ArtifactFormatError(ValueError):
+    """A ``.npz`` artifact is not readable by this build.
+
+    Distinguishes *foreign file* (no/unknown magic) from *stale
+    artifact* (right family, wrong format version) so long-lived
+    consumers — the query server in particular — fail fast with an
+    actionable message instead of crashing on a missing array key
+    deep inside a query.
+    """
+
+
+def _check_magic(data, path, *, prefix: str, current: str, kind: str) -> None:
+    if "magic" not in data:
+        raise ArtifactFormatError(
+            f"{path}: not a repro {kind} file (missing magic header)"
+        )
+    magic = str(data["magic"])
+    if magic == current:
+        return
+    if magic.startswith(prefix):
+        raise ArtifactFormatError(
+            f"{path}: {kind} format version mismatch: file was written as "
+            f"{magic!r} but this build reads {current!r}; regenerate the "
+            f"artifact (repro {'preprocess' if kind == 'hierarchy' else 'generate/convert'})"
+        )
+    raise ArtifactFormatError(
+        f"{path}: not a repro {kind} file (magic {magic!r})"
+    )
 
 
 def save_graph(graph: StaticGraph, path: str | Path) -> None:
@@ -34,8 +72,10 @@ def save_graph(graph: StaticGraph, path: str | Path) -> None:
 def load_graph(path: str | Path) -> StaticGraph:
     """Read a graph written by :func:`save_graph`."""
     with np.load(path, allow_pickle=False) as data:
-        if str(data.get("magic", "")) != _GRAPH_MAGIC:
-            raise ValueError(f"{path}: not a repro graph file")
+        _check_magic(
+            data, path, prefix=_GRAPH_MAGIC_PREFIX, current=_GRAPH_MAGIC,
+            kind="graph",
+        )
         return StaticGraph.from_csr(
             data["first"], data["arc_head"], data["arc_len"]
         )
@@ -65,8 +105,10 @@ def load_hierarchy(path: str | Path):
     from ..ch.hierarchy import ContractionHierarchy
 
     with np.load(path, allow_pickle=False) as data:
-        if str(data.get("magic", "")) != _CH_MAGIC:
-            raise ValueError(f"{path}: not a repro hierarchy file")
+        _check_magic(
+            data, path, prefix=_CH_MAGIC_PREFIX, current=_CH_MAGIC,
+            kind="hierarchy",
+        )
         upward = StaticGraph.from_csr(
             data["up_first"], data["up_head"], data["up_len"]
         )

@@ -1,0 +1,53 @@
+"""Long-lived query serving over a warm PHAST hierarchy.
+
+The batch layer (:mod:`repro.core.pool`) answers *offline* workloads:
+one caller, many sources, one call.  This package closes the remaining
+gap to the ROADMAP's north star — a resident process answering a
+*stream* of concurrent queries — by exploiting the same economics
+online: a PHAST sweep costs nearly the same for 1 or ``k`` sources, so
+coalescing concurrent tree-shaped requests into one k-lane sweep
+multiplies service rate exactly like dynamic batching in an inference
+server.
+
+Modules
+-------
+:mod:`~repro.server.protocol`
+    Length-prefixed JSON framing (stdlib only) shared by the asyncio
+    server and the blocking client.
+:mod:`~repro.server.admission`
+    Bounded-queue admission control with load shedding and drain mode.
+:mod:`~repro.server.scheduler`
+    The dynamic micro-batching scheduler: coalesce up to ``batch_max``
+    sweep requests or ``max_wait_ms``, dispatch one multi-source sweep,
+    fan results back out to per-request futures.
+:mod:`~repro.server.metrics`
+    Request counters plus batch-size / wait / latency histograms.
+:mod:`~repro.server.service`
+    The asyncio TCP service tying it together: four query types
+    (point-to-point, one-to-many, full tree, isochrone), deadlines,
+    graceful drain on SIGINT/SIGTERM.
+:mod:`~repro.server.client`
+    Blocking client library used by ``repro client``, the tests and
+    the closed-loop load generator.
+"""
+
+from .admission import AdmissionController
+from .client import ServerClient, ServerError
+from .metrics import ServerMetrics
+from .protocol import ProtocolError
+from .scheduler import DeadlineExceeded, MicroBatcher, SweepRequest
+from .service import PhastService, ServerConfig, serve_in_thread
+
+__all__ = [
+    "AdmissionController",
+    "DeadlineExceeded",
+    "MicroBatcher",
+    "PhastService",
+    "ProtocolError",
+    "ServerClient",
+    "ServerConfig",
+    "ServerError",
+    "ServerMetrics",
+    "SweepRequest",
+    "serve_in_thread",
+]

@@ -1,0 +1,147 @@
+"""Blocking client for the query service.
+
+One :class:`ServerClient` owns one TCP connection and issues one
+request at a time (closed-loop).  It is deliberately synchronous —
+load generators and applications scale by running one client per
+thread, which is also how the benchmark applies offered load.  Not
+thread-safe; share nothing, connect per thread.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import numpy as np
+
+from . import protocol
+
+__all__ = ["ServerClient", "ServerError"]
+
+
+class ServerError(RuntimeError):
+    """The server answered with an error envelope."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = int(code)
+        self.message = message
+
+
+class ServerClient:
+    """Issue queries against a running :class:`~repro.server.service.PhastService`.
+
+    Parameters
+    ----------
+    host, port:
+        Where the service listens.
+    timeout:
+        Socket timeout in seconds for each send/receive.
+    connect_retry_s:
+        Keep retrying the initial connection for this many seconds —
+        lets scripts start a client right after forking the server.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7171, *,
+                 timeout: float = 60.0, connect_retry_s: float = 0.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self._timeout = timeout
+        self._next_id = 0
+        self._sock = self._connect(connect_retry_s)
+
+    def _connect(self, retry_s: float) -> socket.socket:
+        deadline = time.monotonic() + retry_s
+        while True:
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self._timeout
+                )
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                return sock
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def call(self, op: str, **params) -> dict:
+        """One request/response round trip; raises :class:`ServerError`."""
+        self._next_id += 1
+        req_id = self._next_id
+        protocol.send_message(self._sock, {"id": req_id, "op": op, **params})
+        resp = protocol.recv_message(self._sock)
+        if resp is None:
+            raise ConnectionError("server closed the connection")
+        if resp.get("id") != req_id:
+            raise protocol.ProtocolError(
+                f"response id {resp.get('id')!r} != request id {req_id}"
+            )
+        if not resp.get("ok"):
+            err = resp.get("error") or {}
+            raise ServerError(err.get("code", protocol.INTERNAL),
+                              err.get("message", "unknown server error"))
+        return resp
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the four query types ---------------------------------------------
+
+    def query(self, source: int, target: int, *, stall: bool = False,
+              timeout_ms: float | None = "unset") -> dict:
+        """Point-to-point distance: ``{"distance", "reachable", "settled"}``."""
+        params = {"source": source, "target": target, "stall": stall}
+        if timeout_ms != "unset":
+            params["timeout_ms"] = timeout_ms
+        return self.call("query", **params)
+
+    def tree(self, source: int, *, timeout_ms: float | None = "unset") -> np.ndarray:
+        """Full distance array from ``source`` (int64, INF = unreachable)."""
+        params = {"source": source}
+        if timeout_ms != "unset":
+            params["timeout_ms"] = timeout_ms
+        resp = self.call("tree", **params)
+        return np.asarray(resp["dist"], dtype=np.int64)
+
+    def one_to_many(self, source: int, targets, *,
+                    timeout_ms: float | None = "unset") -> np.ndarray:
+        """Distances from ``source`` to each of ``targets`` (int64)."""
+        params = {"source": source, "targets": [int(t) for t in targets]}
+        if timeout_ms != "unset":
+            params["timeout_ms"] = timeout_ms
+        resp = self.call("one_to_many", **params)
+        return np.asarray(resp["dist"], dtype=np.int64)
+
+    def isochrone(self, source: int, budget: int, *,
+                  timeout_ms: float | None = "unset") -> np.ndarray:
+        """Sorted vertex ids within ``budget`` of ``source`` (int64)."""
+        params = {"source": source, "budget": int(budget)}
+        if timeout_ms != "unset":
+            params["timeout_ms"] = timeout_ms
+        resp = self.call("isochrone", **params)
+        return np.asarray(resp["vertices"], dtype=np.int64)
+
+    # -- admin -------------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.call("ping").get("pong"))
+
+    def info(self) -> dict:
+        resp = self.call("info")
+        resp.pop("id", None)
+        resp.pop("ok", None)
+        return resp
+
+    def metrics(self) -> dict:
+        return self.call("metrics")["metrics"]

@@ -1,0 +1,166 @@
+"""Wire protocol: 4-byte big-endian length prefix + UTF-8 JSON body.
+
+One frame per message in both directions.  JSON keeps the protocol
+inspectable and stdlib-only; the length prefix makes framing exact
+under pipelining (a client may have many requests in flight on one
+connection — responses carry the request ``id`` and may arrive out of
+order).
+
+Requests::
+
+    {"id": 7, "op": "tree", "source": 42, "timeout_ms": 250.0}
+
+Responses::
+
+    {"id": 7, "ok": true, ...payload}
+    {"id": 7, "ok": false, "error": {"code": 429, "message": "..."}}
+
+Error codes follow the familiar HTTP meanings so operators need no
+legend: 400 bad request, 429 shed by admission control, 500 internal,
+503 draining/unavailable, 504 deadline exceeded.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+
+__all__ = [
+    "MAX_MESSAGE_BYTES",
+    "ProtocolError",
+    "BAD_REQUEST",
+    "OVERLOADED",
+    "INTERNAL",
+    "UNAVAILABLE",
+    "DEADLINE",
+    "encode_message",
+    "decode_body",
+    "read_message",
+    "write_message",
+    "send_message",
+    "recv_message",
+    "ok_response",
+    "error_response",
+]
+
+#: Hard cap on one frame; a full-tree response at paper scale (18M
+#: vertices) would not fit, but such deployments should use
+#: ``one_to_many`` — the cap protects the server from hostile lengths.
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+BAD_REQUEST = 400
+OVERLOADED = 429
+INTERNAL = 500
+UNAVAILABLE = 503
+DEADLINE = 504
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent a frame this protocol cannot accept."""
+
+
+def encode_message(obj: dict) -> bytes:
+    """One wire frame (header + JSON body) for ``obj``."""
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"message of {len(body)} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte frame cap"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict:
+    """Parse one frame body; a non-object payload is a protocol error."""
+    try:
+        obj = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"invalid JSON frame: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("frame body must be a JSON object")
+    return obj
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame (cap "
+            f"{MAX_MESSAGE_BYTES}); closing"
+        )
+
+
+# -- asyncio side (server) ---------------------------------------------------
+
+
+async def read_message(reader: asyncio.StreamReader) -> dict | None:
+    """Next message from ``reader``; ``None`` on clean EOF."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if exc.partial:
+            raise ProtocolError("connection closed mid-header") from exc
+        return None
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return decode_body(body)
+
+
+async def write_message(writer: asyncio.StreamWriter, obj: dict) -> None:
+    """Send one message and wait for the transport buffer to drain."""
+    writer.write(encode_message(obj))
+    await writer.drain()
+
+
+# -- blocking side (client) --------------------------------------------------
+
+
+def send_message(sock: socket.socket, obj: dict) -> None:
+    """Send one message over a blocking socket."""
+    sock.sendall(encode_message(obj))
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes | None:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count and not chunks:
+                return None  # clean EOF on a frame boundary
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> dict | None:
+    """Next message from a blocking socket; ``None`` on clean EOF."""
+    header = _recv_exactly(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    body = _recv_exactly(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed mid-frame")
+    return decode_body(body)
+
+
+# -- response envelopes ------------------------------------------------------
+
+
+def ok_response(req_id, **payload) -> dict:
+    return {"id": req_id, "ok": True, **payload}
+
+
+def error_response(req_id, code: int, message: str) -> dict:
+    return {"id": req_id, "ok": False,
+            "error": {"code": int(code), "message": str(message)}}

@@ -1,0 +1,483 @@
+"""The asyncio TCP query service over a warm :class:`PhastPool`.
+
+One process, one preprocessed hierarchy, four query types:
+
+``query``
+    Point-to-point distance via the bidirectional CH search — already
+    sub-millisecond alone, so these bypass the batcher and run straight
+    on the executor.
+``tree`` / ``one_to_many`` / ``isochrone``
+    All sweep-shaped (each needs one source's full distance row); they
+    enter the :class:`~repro.server.scheduler.MicroBatcher` and ride a
+    shared k-lane sweep, differing only in how the row is post-processed
+    (whole row / gather at targets / threshold).
+``ping`` / ``info`` / ``metrics``
+    Health, instance facts, and serving statistics.
+
+The event loop only parses frames, routes, and awaits futures; all
+NumPy work happens on a small thread pool.  Sweeps are serialized by
+the batcher (`PhastPool` is single-caller), point-to-point queries run
+concurrently — they touch only their own heaps and dicts.
+
+Shutdown follows the drain discipline: stop accepting connections,
+refuse new work with 503, let admitted requests finish, stop the
+scheduler, close the pool (unlinking its shared memory), then close
+lingering connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ch.query import ch_query
+from ..core.pool import PhastPool
+from ..graph.csr import INF
+from . import protocol
+from .admission import AdmissionController
+from .metrics import ServerMetrics
+from .scheduler import (
+    DeadlineExceeded,
+    MicroBatcher,
+    SchedulerStopped,
+    SweepRequest,
+)
+
+__all__ = ["ServerConfig", "PhastService", "ServerHandle", "serve_in_thread"]
+
+#: Ops that perform shortest-path work (and thus pass admission).
+WORK_OPS = ("query", "tree", "one_to_many", "isochrone")
+#: Ops answered even while draining.
+ADMIN_OPS = ("ping", "info", "metrics")
+
+
+@dataclass
+class ServerConfig:
+    """Tunables of one service instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 7171
+    #: Lane cap per dispatched sweep (and, unless overridden, the
+    #: pool's ``sources_per_sweep``).
+    batch_max: int = 16
+    #: Batch window in milliseconds (0 disables waiting).
+    max_wait_ms: float = 2.0
+    #: ``False`` dispatches one request per sweep (the ablation mode).
+    batching: bool = True
+    #: Admission bound on in-flight work requests.
+    max_pending: int = 256
+    #: Default per-request deadline; ``None`` disables deadlines.
+    default_timeout_ms: float | None = 30_000.0
+    #: Pool workers (1 = in-process serial pool, the single-host default).
+    num_workers: int | None = 1
+    #: Pool lanes per worker sweep pass; 0 means "use batch_max".
+    sources_per_sweep: int = 0
+    #: Spawn pool worker processes even on a single-CPU host.
+    force_pool: bool = False
+    #: Threads for sweeps + point-to-point queries.
+    executor_threads: int = 4
+    #: Engine-side LRU of upward search spaces (entries; 0 disables).
+    #: Repeat origins — depots, hubs, popular tiles — skip the
+    #: per-source CH search entirely on a hit.
+    search_cache: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if self.executor_threads < 1:
+            raise ValueError("executor_threads must be >= 1")
+        if self.search_cache < 0:
+            raise ValueError("search_cache must be >= 0")
+
+
+class _BadRequest(Exception):
+    pass
+
+
+def _require_int(msg: dict, key: str, *, lo: int | None = None,
+                 hi: int | None = None) -> int:
+    value = msg.get(key)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _BadRequest(f"{key!r} must be an integer")
+    if lo is not None and value < lo:
+        raise _BadRequest(f"{key!r} must be >= {lo} (got {value})")
+    if hi is not None and value >= hi:
+        raise _BadRequest(f"{key!r} must be < {hi} (got {value})")
+    return value
+
+
+class PhastService:
+    """A resident hierarchy answering a stream of concurrent queries.
+
+    Parameters
+    ----------
+    ch:
+        The preprocessed :class:`~repro.ch.hierarchy.ContractionHierarchy`.
+    graph:
+        The original graph (optional; only reported by ``info``).
+    config:
+        A :class:`ServerConfig`; defaults serve a single-host setup.
+    """
+
+    def __init__(self, ch, *, graph=None, config: ServerConfig | None = None) -> None:
+        self.config = config or ServerConfig()
+        self.ch = ch
+        self.n = int(ch.n)
+        self.graph = graph
+        self.metrics = ServerMetrics()
+        self.admission = AdmissionController(self.config.max_pending)
+        lanes = self.config.sources_per_sweep or self.config.batch_max
+        self.pool = PhastPool(
+            ch,
+            num_workers=self.config.num_workers,
+            sources_per_sweep=lanes,
+            force_pool=self.config.force_pool,
+            search_cache=self.config.search_cache,
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.executor_threads,
+            thread_name_prefix="phast-serve",
+        )
+        self.batcher = MicroBatcher(
+            self._sweep,
+            executor=self._executor,
+            batch_max=self.config.batch_max,
+            max_wait_ms=self.config.max_wait_ms,
+            batching=self.config.batching,
+            metrics=self.metrics,
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._tasks: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._draining = False
+        self._drained: asyncio.Event | None = None
+        self._drain_task: asyncio.Task | None = None
+        self.host = self.config.host
+        self.port = self.config.port
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self, *, host: str | None = None, port: int | None = None) -> None:
+        """Bind and start serving (returns once listening)."""
+        loop = asyncio.get_running_loop()
+        self._drained = asyncio.Event()
+        # Warm the sweep path so the first client doesn't pay for lazy
+        # buffer allocation.
+        await loop.run_in_executor(self._executor, self.pool.trees, [0])
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host if host is not None else self.config.host,
+            port if port is not None else self.config.port,
+        )
+        sock = self._server.sockets[0].getsockname()
+        self.host, self.port = sock[0], sock[1]
+        self.batcher.start()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: finish admitted work, refuse the rest."""
+        if self._drain_task is None:
+            self._drain_task = asyncio.get_running_loop().create_task(
+                self._drain_impl()
+            )
+        await asyncio.shield(self._drain_task)
+
+    async def _drain_impl(self) -> None:
+        self._draining = True
+        self.admission.start_draining()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # In-flight request tasks resolve through the batcher; new ones
+        # can still appear briefly from open connections, but they are
+        # refused at admission, so this loop terminates.
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+        await self.batcher.stop()
+        self._executor.shutdown(wait=True)
+        self.pool.close()
+        for writer in list(self._writers):
+            writer.close()
+        self._drained.set()
+
+    async def wait_drained(self) -> None:
+        """Block until :meth:`drain` has completed."""
+        await self._drained.wait()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- sweep plumbing ----------------------------------------------------
+
+    def _sweep(self, sources: list[int]) -> np.ndarray:
+        """One multi-source sweep (executor thread; serialized)."""
+        return self.pool.trees(sources)
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        conn_tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    msg = await protocol.read_message(reader)
+                except (protocol.ProtocolError, ConnectionError):
+                    break
+                if msg is None:
+                    break
+                task = asyncio.get_running_loop().create_task(
+                    self._respond(msg, writer, write_lock)
+                )
+                for registry in (conn_tasks, self._tasks):
+                    registry.add(task)
+                    task.add_done_callback(registry.discard)
+        finally:
+            # A dropped connection cancels its pending requests, so
+            # their batch lanes are freed instead of computed for
+            # nobody.
+            for task in list(conn_tasks):
+                task.cancel()
+            if conn_tasks:
+                await asyncio.gather(*conn_tasks, return_exceptions=True)
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(self, msg: dict, writer: asyncio.StreamWriter,
+                       write_lock: asyncio.Lock) -> None:
+        response = await self._process(msg)
+        try:
+            async with write_lock:
+                await protocol.write_message(writer, response)
+        except (ConnectionError, RuntimeError, OSError):
+            pass  # peer went away; nothing to tell it
+
+    # -- request processing ------------------------------------------------
+
+    async def _process(self, msg: dict) -> dict:
+        req_id = msg.get("id")
+        op = msg.get("op")
+        t0 = time.monotonic()
+        if not isinstance(op, str):
+            return self._error(req_id, protocol.BAD_REQUEST, "missing 'op'")
+        self.metrics.record_request(op)
+        if op in ADMIN_OPS:
+            return self._admin(req_id, op)
+        if op not in WORK_OPS:
+            return self._error(
+                req_id, protocol.BAD_REQUEST,
+                f"unknown op {op!r}; known: {WORK_OPS + ADMIN_OPS}",
+            )
+        reason = self.admission.try_acquire()
+        if reason is not None:
+            code = (protocol.UNAVAILABLE
+                    if reason == AdmissionController.DRAINING
+                    else protocol.OVERLOADED)
+            return self._error(req_id, code, f"request rejected: {reason}")
+        try:
+            response = await self._run_work(req_id, op, msg)
+        except _BadRequest as exc:
+            response = self._error(req_id, protocol.BAD_REQUEST, str(exc))
+        except DeadlineExceeded as exc:
+            response = self._error(req_id, protocol.DEADLINE, str(exc))
+        except SchedulerStopped as exc:
+            response = self._error(req_id, protocol.UNAVAILABLE, str(exc))
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            response = self._error(
+                req_id, protocol.INTERNAL, f"{type(exc).__name__}: {exc}"
+            )
+        finally:
+            self.admission.release()
+        self.metrics.record_latency(op, time.monotonic() - t0)
+        return response
+
+    def _error(self, req_id, code: int, message: str) -> dict:
+        self.metrics.record_error(code)
+        return protocol.error_response(req_id, code, message)
+
+    def _admin(self, req_id, op: str) -> dict:
+        if op == "ping":
+            return protocol.ok_response(req_id, pong=True)
+        if op == "info":
+            return protocol.ok_response(
+                req_id,
+                n=self.n,
+                m=int(self.graph.m) if self.graph is not None else None,
+                batching=self.config.batching,
+                batch_max=self.config.batch_max,
+                max_wait_ms=self.config.max_wait_ms,
+                workers=self.pool.num_workers,
+                serial_pool=self.pool.serial,
+                draining=self._draining,
+            )
+        return protocol.ok_response(
+            req_id,
+            metrics=self.metrics.snapshot(
+                admission=self.admission.snapshot(),
+                pool={
+                    "workers": self.pool.num_workers,
+                    "serial": self.pool.serial,
+                    "batches_run": self.pool.batches_run,
+                    "trees_computed": self.pool.trees_computed,
+                },
+            ),
+        )
+
+    def _deadline(self, msg: dict) -> float | None:
+        timeout_ms = msg.get("timeout_ms", self.config.default_timeout_ms)
+        if timeout_ms is None:
+            return None
+        if isinstance(timeout_ms, bool) or not isinstance(timeout_ms, (int, float)):
+            raise _BadRequest("'timeout_ms' must be a number or null")
+        return time.monotonic() + float(timeout_ms) / 1e3
+
+    async def _run_work(self, req_id, op: str, msg: dict) -> dict:
+        deadline = self._deadline(msg)
+        if op == "query":
+            return await self._run_query(req_id, msg, deadline)
+        source = _require_int(msg, "source", lo=0, hi=self.n)
+        if op == "tree":
+            finalize = _finalize_tree
+        elif op == "one_to_many":
+            targets = msg.get("targets")
+            if (not isinstance(targets, list) or not targets
+                    or not all(isinstance(t, int) and not isinstance(t, bool)
+                               and 0 <= t < self.n for t in targets)):
+                raise _BadRequest(
+                    f"'targets' must be a non-empty list of vertex ids "
+                    f"in [0, {self.n})"
+                )
+            idx = np.asarray(targets, dtype=np.int64)
+            finalize = lambda row, idx=idx: {"dist": row[idx].tolist()}
+        else:  # isochrone
+            budget = _require_int(msg, "budget", lo=0)
+            finalize = lambda row, budget=budget: _finalize_isochrone(row, budget)
+        request = SweepRequest(op, source, finalize, deadline=deadline)
+        self.batcher.submit(request)
+        payload = await request.future
+        return protocol.ok_response(req_id, **payload)
+
+    async def _run_query(self, req_id, msg: dict, deadline) -> dict:
+        source = _require_int(msg, "source", lo=0, hi=self.n)
+        target = _require_int(msg, "target", lo=0, hi=self.n)
+        stall = bool(msg.get("stall", False))
+        if deadline is not None and time.monotonic() >= deadline:
+            raise DeadlineExceeded("deadline exceeded on arrival")
+        loop = asyncio.get_running_loop()
+        result = await loop.run_in_executor(
+            self._executor,
+            lambda: ch_query(self.ch, source, target, stall=stall),
+        )
+        distance = int(result.distance)
+        return protocol.ok_response(
+            req_id,
+            distance=distance,
+            reachable=distance < int(INF),
+            settled=int(result.settled_forward + result.settled_backward),
+        )
+
+
+def _finalize_tree(row: np.ndarray) -> dict:
+    return {"dist": row.tolist()}
+
+
+def _finalize_isochrone(row: np.ndarray, budget: int) -> dict:
+    vertices = np.flatnonzero(row <= budget)
+    return {"vertices": vertices.tolist(), "count": int(vertices.size)}
+
+
+# ---------------------------------------------------------------------------
+# Thread-hosted serving (tests, benchmarks, notebooks)
+
+
+class ServerHandle:
+    """A service running on a private event loop in a daemon thread."""
+
+    def __init__(self, service: PhastService, thread: threading.Thread,
+                 loop: asyncio.AbstractEventLoop) -> None:
+        self.service = service
+        self.thread = thread
+        self.loop = loop
+
+    @property
+    def host(self) -> str:
+        return self.service.host
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Drain the service and join its thread (idempotent)."""
+        if self.thread.is_alive():
+            self.loop.call_soon_threadsafe(
+                lambda: asyncio.ensure_future(self.service.drain())
+            )
+        self.thread.join(timeout)
+        if self.thread.is_alive():
+            raise RuntimeError("server thread did not drain in time")
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def serve_in_thread(
+    service: PhastService, *, host: str = "127.0.0.1", port: int = 0,
+    start_timeout: float = 60.0,
+) -> ServerHandle:
+    """Start ``service`` on a fresh event loop in a daemon thread.
+
+    ``port=0`` binds an ephemeral port; read it back from
+    ``handle.port``.  The thread exits once the service has drained.
+    """
+    started = threading.Event()
+    holder: dict = {}
+
+    def runner() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        holder["loop"] = loop
+
+        async def main() -> None:
+            try:
+                await service.start(host=host, port=port)
+            except BaseException as exc:
+                holder["error"] = exc
+                raise
+            finally:
+                started.set()
+            await service.wait_drained()
+
+        try:
+            loop.run_until_complete(main())
+        except BaseException as exc:
+            holder.setdefault("error", exc)
+            started.set()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=runner, name="phast-server", daemon=True)
+    thread.start()
+    if not started.wait(start_timeout):
+        raise RuntimeError("server failed to start in time")
+    if "error" in holder:
+        raise RuntimeError(f"server failed to start: {holder['error']}")
+    return ServerHandle(service, thread, holder["loop"])

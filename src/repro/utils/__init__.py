@@ -2,7 +2,7 @@
 
 from .hotloop import bulk_compute, keep_malloc_arenas
 from .segments import gather_ranges, repeat_per_segment, segment_minimum
-from .timing import Timer, median_of_repeats
+from .timing import LatencyHistogram, Timer, median_of_repeats
 
 __all__ = [
     "bulk_compute",
@@ -10,6 +10,7 @@ __all__ = [
     "gather_ranges",
     "repeat_per_segment",
     "segment_minimum",
+    "LatencyHistogram",
     "Timer",
     "median_of_repeats",
 ]

@@ -143,3 +143,99 @@ def test_convert_gr_roundtrip(tmp_path, artifacts):
 def test_unknown_command_fails():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+# -- error paths: every operational failure is rc 2 + one error: line --------
+
+
+def _fails(argv, capsys, *, needle=None):
+    rc = main(argv)
+    err = capsys.readouterr().err
+    assert rc == 2, (argv, err)
+    assert err.startswith("error:"), (argv, err)
+    if needle is not None:
+        assert needle in err, (argv, err)
+    return err
+
+
+def test_query_missing_file(capsys):
+    _fails(
+        ["query", "/nope/ch.npz", "--source", "0", "--target", "1"], capsys
+    )
+
+
+def test_tree_missing_files(tmp_path, artifacts, capsys):
+    gpath, cpath = artifacts
+    _fails(["tree", str(tmp_path / "no.npz"), str(cpath), "--source", "0"],
+           capsys)
+    _fails(["tree", str(gpath), str(tmp_path / "no.ch.npz"), "--source", "0"],
+           capsys)
+
+
+def test_batch_missing_file(artifacts, capsys):
+    gpath, _ = artifacts
+    _fails(["batch", str(gpath), "/nope/ch.npz", "--count", "2"], capsys)
+
+
+def test_serve_missing_file(capsys):
+    _fails(["serve", "/nope/g.npz", "/nope/ch.npz"], capsys)
+
+
+def test_query_source_out_of_range(artifacts, capsys):
+    _, cpath = artifacts
+    _fails(["query", str(cpath), "--source", "64", "--target", "0"],
+           capsys, needle="source")
+    _fails(["query", str(cpath), "--source", "-1", "--target", "0"],
+           capsys, needle="source")
+    _fails(["query", str(cpath), "--source", "0", "--target", "9999"],
+           capsys, needle="target")
+
+
+def test_tree_source_out_of_range(artifacts, capsys):
+    gpath, cpath = artifacts
+    _fails(["tree", str(gpath), str(cpath), "--source", "64"],
+           capsys, needle="source")
+
+
+def test_batch_bad_sources(artifacts, capsys):
+    gpath, cpath = artifacts
+    _fails(["batch", str(gpath), str(cpath), "--sources", "0,x,2"],
+           capsys, needle="comma-separated")
+    _fails(["batch", str(gpath), str(cpath), "--sources", "0,9999"],
+           capsys, needle="source")
+
+
+def test_batch_bad_sweep_k(artifacts, capsys):
+    gpath, cpath = artifacts
+    _fails(["batch", str(gpath), str(cpath), "--count", "2",
+            "--sweep-k", "0"], capsys)
+
+
+def test_serve_mismatched_graph_and_hierarchy(tmp_path, artifacts, capsys):
+    from repro.ch import contract_graph
+    from repro.graph import RoadNetworkParams, road_network, save_hierarchy
+
+    gpath, _ = artifacts
+    other = road_network(RoadNetworkParams(rows=3, cols=3, seed=0))
+    cpath = tmp_path / "other.ch.npz"
+    save_hierarchy(contract_graph(other), cpath)
+    _fails(["serve", str(gpath), str(cpath)], capsys, needle="vertices")
+
+
+def test_serve_stale_artifact(tmp_path, artifacts, capsys):
+    import numpy as np
+
+    gpath, cpath = artifacts
+    stale = tmp_path / "stale.ch.npz"
+    with np.load(cpath, allow_pickle=False) as data:
+        arrays = {k: data[k] for k in data.files if k != "magic"}
+    np.savez_compressed(stale, magic=np.array("repro-ch-v0"), **arrays)
+    _fails(["serve", str(gpath), str(stale)], capsys, needle="version")
+
+
+def test_client_connection_refused(capsys):
+    _fails(["client", "--port", "1", "--op", "ping"], capsys)
+
+
+def test_client_missing_op_args(capsys):
+    _fails(["client", "--port", "1", "--op", "query"], capsys)

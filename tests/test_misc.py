@@ -110,3 +110,66 @@ def test_ch_distance_permutation_invariance(g, seed):
         ch_query(ch_g, s, t).distance
         == ch_query(ch_h, int(perm[s]), int(perm[t])).distance
     )
+
+
+# -- latency histogram -------------------------------------------------------
+
+
+def test_latency_histogram_percentiles_bounded_error():
+    from repro.utils import LatencyHistogram
+
+    h = LatencyHistogram()
+    rng = np.random.default_rng(0)
+    samples = rng.lognormal(mean=-6.0, sigma=1.0, size=5000)  # ~2.5ms median
+    for s in samples:
+        h.observe(float(s))
+    assert h.count == len(samples)
+    assert np.isclose(h.mean, samples.mean())
+    assert np.isclose(h.min, samples.min())
+    assert np.isclose(h.max, samples.max())
+    for p in (10, 50, 90, 99):
+        exact = float(np.percentile(samples, p))
+        got = h.percentile(p)
+        # One geometric bucket of relative error at 12 buckets/decade.
+        assert abs(got - exact) / exact < 0.25, (p, got, exact)
+    # Percentiles are monotone and clamped to the observed range.
+    qs = [h.percentile(p) for p in range(0, 101, 5)]
+    assert qs == sorted(qs)
+    assert h.min <= qs[0] and qs[-1] <= h.max
+
+
+def test_latency_histogram_merge_equals_union():
+    from repro.utils import LatencyHistogram
+
+    a, b, union = LatencyHistogram(), LatencyHistogram(), LatencyHistogram()
+    rng = np.random.default_rng(1)
+    xs, ys = rng.exponential(0.01, 300), rng.exponential(0.05, 200)
+    for x in xs:
+        a.observe(float(x))
+        union.observe(float(x))
+    for y in ys:
+        b.observe(float(y))
+        union.observe(float(y))
+    a.merge(b)
+    assert a.count == union.count
+    assert np.isclose(a.total, union.total)
+    assert a.summary() == union.summary()
+
+
+def test_latency_histogram_edge_cases():
+    from repro.utils import LatencyHistogram
+
+    h = LatencyHistogram()
+    assert h.summary() == {"count": 0}
+    assert h.percentile(50) == 0.0
+    h.observe(0.0)          # below min_value: clamped into first bucket
+    h.observe(500.0)        # above max_value: overflow bucket
+    assert h.count == 2
+    assert h.max == 500.0 and h.min == 0.0
+    assert h.percentile(100) == 500.0
+    with pytest.raises(ValueError):
+        h.observe(-1.0)
+    with pytest.raises(ValueError):
+        h.percentile(101)
+    with pytest.raises(ValueError):
+        h.merge(LatencyHistogram(buckets_per_decade=5))

@@ -180,3 +180,42 @@ def test_multi_tree_k_change_reallocates(road_engine):
 def test_engine_stats_recorded(road_engine):
     road_engine.tree(0)
     assert road_engine.last_stats["ch_search_size"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Upward search-space cache
+
+
+def test_search_cache_bit_identical(road, road_ch, road_engine, rng):
+    """Caching upward search spaces must not change a single distance."""
+    cached = PhastEngine(road_ch, search_cache=8)
+    sources = [int(s) for s in rng.integers(0, road.n, 6)]
+    for _ in range(3):  # repeat visits hit the cache
+        for s in sources:
+            assert np.array_equal(cached.tree(s).dist, road_engine.tree(s).dist)
+        multi = cached.trees(sources)
+        for i, s in enumerate(sources):
+            assert np.array_equal(multi[i], road_engine.tree(s).dist)
+    assert cached.search_cache_hits > 0
+
+
+def test_search_cache_counters_and_eviction(road_ch):
+    cached = PhastEngine(road_ch, search_cache=4)
+    for s in range(6):  # 6 distinct sources through a 4-entry cache
+        cached.tree(s)
+    assert cached.search_cache_misses == 6
+    assert cached.search_cache_hits == 0
+    assert len(cached._search_cache) == 4
+    cached.tree(5)  # most recent entry: a hit, no new insertion
+    assert cached.search_cache_hits == 1
+    assert len(cached._search_cache) == 4
+    cached.tree(0)  # LRU-evicted earlier: a miss again
+    assert cached.search_cache_misses == 7
+
+
+def test_search_cache_disabled_by_default(road_ch):
+    engine = PhastEngine(road_ch)
+    engine.tree(1)
+    engine.tree(1)
+    assert engine.search_cache_hits == 0
+    assert len(engine._search_cache) == 0

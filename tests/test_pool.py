@@ -261,3 +261,51 @@ def test_trees_per_core_shim_uses_pool(road, road_ch):
         assert np.array_equal(
             dist, dijkstra(road, s, with_parents=False).dist
         )
+
+
+_GUARD_SCRIPT = r"""
+import signal, sys, time
+
+from repro.ch import contract_graph
+from repro.core import PhastPool, install_signal_guard
+from repro.graph import RoadNetworkParams, road_network
+
+graph = road_network(RoadNetworkParams(rows=6, cols=6, seed=1))
+pool = PhastPool(contract_graph(graph), num_workers=2, force_pool=True)
+pool.trees([0])  # materialize the output segment too
+install_signal_guard()
+print(pool._shm.name, pool._out_shm.name, "READY", flush=True)
+while True:  # keep sweeping until the parent kills us
+    pool.trees([1, 2])
+"""
+
+
+def test_signal_guard_unlinks_shm_on_sigterm(tmp_path):
+    """A SIGTERM mid-sweep must not leak /dev/shm segments."""
+    import os
+    import signal
+    import subprocess
+    import sys
+    from multiprocessing import shared_memory
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath("src")
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _GUARD_SCRIPT],
+        stdout=subprocess.PIPE, text=True, env=env,
+    )
+    try:
+        line = proc.stdout.readline().split()
+        assert line[-1] == "READY", line
+        shm_names = line[:2]
+        proc.send_signal(signal.SIGTERM)
+        rc = proc.wait(timeout=120)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    # The guard re-raises with default semantics: killed by SIGTERM.
+    assert rc == -signal.SIGTERM
+    for name in shm_names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)

@@ -65,3 +65,52 @@ def test_garbage_file_rejected(tmp_path):
     np.savez(path, foo=np.arange(3))
     with pytest.raises(ValueError):
         load_graph(path)
+
+
+def _rewrite_magic(src, dst, magic):
+    """Copy an npz artifact, replacing its magic header."""
+    with np.load(src, allow_pickle=False) as data:
+        arrays = {k: data[k] for k in data.files if k != "magic"}
+    np.savez_compressed(dst, magic=np.array(magic), **arrays)
+
+
+def test_graph_version_mismatch_is_actionable(road, tmp_path):
+    from repro.graph import ArtifactFormatError
+
+    good = tmp_path / "g.npz"
+    stale = tmp_path / "g-old.npz"
+    save_graph(road, good)
+    _rewrite_magic(good, stale, "repro-graph-v0")
+    with pytest.raises(ArtifactFormatError, match="version mismatch"):
+        load_graph(stale)
+    with pytest.raises(ArtifactFormatError, match="regenerate"):
+        load_graph(stale)
+
+
+def test_hierarchy_version_mismatch_is_actionable(road_ch, tmp_path):
+    from repro.graph import ArtifactFormatError
+
+    good = tmp_path / "c.npz"
+    stale = tmp_path / "c-old.npz"
+    save_hierarchy(road_ch, good)
+    _rewrite_magic(good, stale, "repro-ch-v99")
+    with pytest.raises(ArtifactFormatError, match="version mismatch"):
+        load_hierarchy(stale)
+
+
+def test_foreign_magic_named_as_foreign(road, tmp_path):
+    from repro.graph import ArtifactFormatError
+
+    good = tmp_path / "g.npz"
+    alien = tmp_path / "alien.npz"
+    save_graph(road, good)
+    _rewrite_magic(good, alien, "someone-elses-format-v3")
+    with pytest.raises(ArtifactFormatError, match="not a repro graph"):
+        load_graph(alien)
+
+
+def test_artifact_error_is_a_value_error(road, road_ch, tmp_path):
+    """Pre-existing except ValueError handlers keep working."""
+    from repro.graph import ArtifactFormatError
+
+    assert issubclass(ArtifactFormatError, ValueError)

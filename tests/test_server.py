@@ -1,0 +1,407 @@
+"""Tests for the async query service (`repro.server`).
+
+The acceptance bar: distances over the wire are bit-identical to a
+direct :class:`~repro.core.phast.PhastEngine`, under concurrency, for
+all four request types — plus admission control, deadlines, and the
+graceful-drain contract.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import PhastEngine
+from repro.server import (
+    AdmissionController,
+    PhastService,
+    ProtocolError,
+    ServerClient,
+    ServerConfig,
+    ServerError,
+    serve_in_thread,
+)
+from repro.server import protocol
+
+
+# ---------------------------------------------------------------------------
+# Fixtures
+
+
+@pytest.fixture(scope="module")
+def reference(road, road_ch):
+    """Precomputed serial distances (the bit-exactness oracle)."""
+    engine = PhastEngine(road_ch)
+    return np.stack([engine.tree(s).dist for s in range(road.n)])
+
+
+@pytest.fixture(scope="module")
+def server(road, road_ch):
+    """One warm service shared by the read-only tests."""
+    service = PhastService(
+        road_ch,
+        graph=road,
+        config=ServerConfig(batch_max=4, max_wait_ms=25.0, max_pending=64),
+    )
+    with serve_in_thread(service) as handle:
+        yield handle
+
+
+@pytest.fixture()
+def client(server):
+    with ServerClient(server.host, server.port) as c:
+        yield c
+
+
+# ---------------------------------------------------------------------------
+# Protocol framing
+
+
+def test_protocol_roundtrip():
+    frame = protocol.encode_message({"id": 1, "op": "ping"})
+    (length,) = struct.unpack(">I", frame[:4])
+    assert length == len(frame) - 4
+    assert protocol.decode_body(frame[4:]) == {"id": 1, "op": "ping"}
+
+
+def test_protocol_rejects_non_object():
+    with pytest.raises(ProtocolError):
+        protocol.decode_body(b"[1, 2]")
+    with pytest.raises(ProtocolError):
+        protocol.decode_body(b"{nope")
+
+
+def test_protocol_rejects_hostile_length(server):
+    with socket.create_connection((server.host, server.port), timeout=10) as s:
+        s.sendall(struct.pack(">I", protocol.MAX_MESSAGE_BYTES + 1))
+        # Server must drop the connection rather than buffer 64 MiB.
+        s.settimeout(10)
+        assert s.recv(1) == b""
+
+
+# ---------------------------------------------------------------------------
+# The four request types: bit-identical to the direct engine
+
+
+def test_ping_info(client, road):
+    assert client.ping()
+    info = client.info()
+    assert info["n"] == road.n
+    assert info["m"] == road.m
+    assert info["batching"] is True
+
+
+def test_tree_bit_identical(client, reference):
+    for s in (0, 7, 211, 399):
+        assert np.array_equal(client.tree(s), reference[s])
+
+
+def test_one_to_many_bit_identical(client, reference):
+    targets = [0, 3, 17, 399, 17]  # duplicates allowed
+    got = client.one_to_many(5, targets)
+    assert np.array_equal(got, reference[5][targets])
+
+
+def test_isochrone_bit_identical(client, reference):
+    for budget in (0, 1500, 10**9):
+        got = client.isochrone(42, budget)
+        assert np.array_equal(got, np.flatnonzero(reference[42] <= budget))
+
+
+def test_query_bit_identical(client, reference):
+    rng = np.random.default_rng(11)
+    n = reference.shape[0]
+    for _ in range(20):
+        s, t = int(rng.integers(n)), int(rng.integers(n))
+        resp = client.query(s, t)
+        assert resp["distance"] == int(reference[s][t])
+        assert resp["reachable"] == bool(reference[s][t] < 2**62)
+
+
+def test_query_stall_matches(client, reference):
+    resp = client.query(3, 311, stall=True)
+    assert resp["distance"] == int(reference[3][311])
+
+
+def test_concurrent_mixed_workload_bit_identical(server, reference):
+    """All four ops from parallel closed-loop clients, all bit-exact."""
+    n = reference.shape[0]
+    errors: list[str] = []
+
+    def worker(tid: int) -> None:
+        rng = np.random.default_rng(100 + tid)
+        try:
+            with ServerClient(server.host, server.port) as c:
+                for i in range(16):
+                    s = int(rng.integers(n))
+                    if i % 4 == 0:
+                        t = int(rng.integers(n))
+                        assert c.query(s, t)["distance"] == int(reference[s][t])
+                    elif i % 4 == 1:
+                        assert np.array_equal(c.tree(s), reference[s])
+                    elif i % 4 == 2:
+                        targets = rng.choice(n, size=6, replace=False)
+                        assert np.array_equal(
+                            c.one_to_many(s, targets), reference[s][targets]
+                        )
+                    else:
+                        budget = int(rng.integers(1, 5000))
+                        assert np.array_equal(
+                            c.isochrone(s, budget),
+                            np.flatnonzero(reference[s] <= budget),
+                        )
+        except Exception as exc:  # surfaced via the main thread's assert
+            errors.append(f"thread {tid}: {exc!r}")
+
+    threads = [
+        threading.Thread(target=worker, args=(tid,)) for tid in range(6)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(120)
+    assert not errors, errors
+
+
+def test_microbatching_actually_coalesces(server):
+    """Concurrent sweep requests must share dispatches (mean size > 1)."""
+
+    def hammer(tid: int) -> None:
+        with ServerClient(server.host, server.port) as c:
+            for _ in range(10):
+                c.one_to_many(tid, [0, 1, 2])
+
+    threads = [threading.Thread(target=hammer, args=(t,)) for t in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(120)
+    with ServerClient(server.host, server.port) as c:
+        batches = c.metrics()["batches"]
+    assert batches["count"] >= 1
+    sizes = {int(k): v for k, v in batches["size_histogram"].items()}
+    assert any(size > 1 for size in sizes), sizes
+    assert batches["mean_size"] > 1.0
+
+
+def test_metrics_shape(client):
+    client.tree(0)
+    m = client.metrics()
+    assert m["requests_total"]["tree"] >= 1
+    lat = m["latency_ms"]["tree"]
+    assert lat["count"] >= 1
+    assert lat["p50_ms"] <= lat["p99_ms"] <= lat["max_ms"] + 1e-9
+    assert m["admission"]["max_pending"] == 64
+    assert m["pool"]["trees_computed"] >= 1
+    total_batched = sum(
+        int(s) * c for s, c in m["batches"]["size_histogram"].items()
+    )
+    assert total_batched == m["batches"]["wait_ms"]["count"]
+
+
+# ---------------------------------------------------------------------------
+# Validation, deadlines, admission
+
+
+def test_bad_requests_rejected_with_400(client, road):
+    cases = [
+        ("frobnicate", {}),
+        ("tree", {}),
+        ("tree", {"source": -1}),
+        ("tree", {"source": road.n}),
+        ("tree", {"source": "zero"}),
+        ("tree", {"source": True}),
+        ("query", {"source": 0}),
+        ("query", {"source": 0, "target": road.n}),
+        ("one_to_many", {"source": 0}),
+        ("one_to_many", {"source": 0, "targets": []}),
+        ("one_to_many", {"source": 0, "targets": [0, road.n]}),
+        ("one_to_many", {"source": 0, "targets": "0,1"}),
+        ("isochrone", {"source": 0}),
+        ("isochrone", {"source": 0, "budget": -1}),
+        ("tree", {"source": 0, "timeout_ms": "fast"}),
+    ]
+    for op, params in cases:
+        with pytest.raises(ServerError) as exc_info:
+            client.call(op, **params)
+        assert exc_info.value.code == 400, (op, params)
+
+
+def test_expired_deadline_rejected_with_504(client):
+    with pytest.raises(ServerError) as exc_info:
+        client.tree(0, timeout_ms=-1)
+    assert exc_info.value.code == 504
+    with pytest.raises(ServerError) as exc_info:
+        client.query(0, 1, timeout_ms=-1)
+    assert exc_info.value.code == 504
+
+
+def test_null_timeout_disables_deadline(client, reference):
+    assert np.array_equal(client.tree(9, timeout_ms=None), reference[9])
+
+
+def test_admission_control_sheds_load(road_ch):
+    """More concurrent work than max_pending → some 429s, no failures."""
+    service = PhastService(
+        road_ch,
+        config=ServerConfig(batch_max=2, max_wait_ms=50.0, max_pending=2),
+    )
+    shed = threading.Event()
+    served = []
+
+    def worker(tid: int) -> None:
+        with ServerClient(handle.host, handle.port) as c:
+            for _ in range(6):
+                try:
+                    c.one_to_many(tid, [0, 1])
+                    served.append(tid)
+                except ServerError as exc:
+                    assert exc.code == 429
+                    shed.set()
+
+    with serve_in_thread(service) as handle:
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(120)
+        with ServerClient(handle.host, handle.port) as c:
+            rejected = c.metrics()["admission"]["rejected"]
+    assert shed.is_set(), "expected at least one 429 under overload"
+    assert rejected["overloaded"] >= 1
+    assert served, "some requests must still be served under overload"
+
+
+def test_admission_controller_unit():
+    ac = AdmissionController(max_pending=2)
+    assert ac.try_acquire() is None
+    assert ac.try_acquire() is None
+    assert ac.try_acquire() == AdmissionController.OVERLOADED
+    ac.release()
+    assert ac.try_acquire() is None
+    ac.start_draining()
+    assert ac.try_acquire() == AdmissionController.DRAINING
+    snap = ac.snapshot()
+    assert snap["pending"] == 2
+    assert snap["rejected"] == {"overloaded": 1, "draining": 1}
+    ac.release()
+    ac.release()
+    with pytest.raises(RuntimeError):
+        ac.release()
+
+
+# ---------------------------------------------------------------------------
+# Graceful drain
+
+
+def test_graceful_drain_completes_inflight_and_unlinks_shm(road_ch, reference):
+    """Drain mid-burst: admitted work finishes bit-exact, new work gets
+    503/connection-refused, and the pool's shared memory is unlinked."""
+    service = PhastService(
+        road_ch,
+        config=ServerConfig(
+            batch_max=4, max_wait_ms=10.0, num_workers=2, force_pool=True
+        ),
+    )
+    shm_name = service.pool._shm.name
+    handle = serve_in_thread(service)
+    outcomes: list[str] = []
+    lock = threading.Lock()
+    first_ok = threading.Event()
+
+    def worker(tid: int) -> None:
+        try:
+            with ServerClient(handle.host, handle.port) as c:
+                for i in range(20):
+                    got = c.tree((tid * 31 + i) % reference.shape[0])
+                    assert np.array_equal(
+                        got, reference[(tid * 31 + i) % reference.shape[0]]
+                    )
+                    with lock:
+                        outcomes.append("ok")
+                    first_ok.set()
+        except ServerError as exc:
+            assert exc.code == 503, exc
+            with lock:
+                outcomes.append("draining")
+        except (ConnectionError, OSError):
+            with lock:
+                outcomes.append("closed")
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+    for t in threads:
+        t.start()
+    assert first_ok.wait(60)  # let the burst actually reach the server
+    handle.stop()  # drain while the burst is in flight
+    for t in threads:
+        t.join(120)
+    assert "ok" in outcomes  # in-flight work completed
+    # The segment must be gone from /dev/shm.
+    from multiprocessing import shared_memory
+
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=shm_name)
+    # And the port must be closed.
+    with pytest.raises(OSError):
+        socket.create_connection((handle.host, handle.port), timeout=2)
+
+
+def test_batching_off_mode_still_correct(road_ch, reference):
+    service = PhastService(
+        road_ch, config=ServerConfig(batching=False, batch_max=8)
+    )
+    with serve_in_thread(service) as handle:
+        with ServerClient(handle.host, handle.port) as c:
+            assert c.info()["batching"] is False
+            for s in (1, 2, 3):
+                assert np.array_equal(c.tree(s), reference[s])
+
+
+def test_same_source_requests_coalesce_into_one_lane(road_ch, reference):
+    """Concurrent requests sharing a source share one sweep lane.
+
+    Every request below uses source 3, so any batch of size > 1 needs
+    exactly one lane — cumulative lanes must fall short of cumulative
+    batched requests, and every answer must still be bit-identical.
+    """
+    service = PhastService(
+        road_ch,
+        config=ServerConfig(batch_max=8, max_wait_ms=25.0),
+    )
+    with serve_in_thread(service) as handle:
+        failures: list[str] = []
+
+        def hammer(tid: int) -> None:
+            try:
+                with ServerClient(handle.host, handle.port) as c:
+                    for i in range(10):
+                        targets = [tid, i, (tid + i) % 36]
+                        got = c.one_to_many(3, targets)
+                        want = [int(reference[3][t]) for t in targets]
+                        if not np.array_equal(got, want):
+                            failures.append(f"{got} != {want}")
+            except Exception as exc:  # pragma: no cover - surfaced below
+                failures.append(repr(exc))
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(120)
+        with ServerClient(handle.host, handle.port) as c:
+            batches = c.metrics()["batches"]
+    assert not failures, failures[:3]
+    sizes = {int(k): v for k, v in batches["size_histogram"].items()}
+    assert any(size > 1 for size in sizes), sizes
+    # mean_lanes counts distinct sources per dispatch; with one shared
+    # source it stays at 1.0 while mean_size exceeds it.
+    assert batches["mean_lanes"] == 1.0
+    assert batches["mean_size"] > batches["mean_lanes"]
