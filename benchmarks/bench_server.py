@@ -32,6 +32,16 @@ closed-loop generator with depth-1 windows cannot offer more
 concurrency than it has threads, which on a single-CPU host would
 starve the batcher of company no matter the arrival policy.
 
+A second experiment measures *availability*: a supervised two-worker
+pool serves a steady closed-loop load while one worker is SIGKILLed
+mid-run.  Recorded: time from the kill until the supervisor has a
+full worker complement again, plus throughput and p50/p99 for the
+before / during / after phases — the "during" phase contains the
+crash, the re-dispatch of the victim's chunks, and the respawn, so
+its tail latency is the price of one worker death.  Every request
+must still be answered (the load generator treats any failure as a
+bench failure).
+
 Environment knobs: ``REPRO_BENCH_SERVER_CLIENTS`` (comma-separated
 thread counts, default ``1,2,4,8``), ``REPRO_BENCH_SERVER_PIPELINE``
 (in-flight requests per client, default 8),
@@ -47,6 +57,7 @@ from __future__ import annotations
 
 import json
 import os
+import signal
 import threading
 import time
 from pathlib import Path
@@ -203,6 +214,60 @@ def _sweep_mode(ch, graph, *, batching: bool, loads: list[int],
     }
 
 
+def _availability_run(ch, graph, *, seconds: float, pipeline: int,
+                      depots: list[int]) -> dict:
+    """Serve through one worker SIGKILL; measure recovery + tails."""
+    config = ServerConfig(
+        batch_max=BATCH_MAX, max_wait_ms=MAX_WAIT_MS, max_pending=4096,
+        num_workers=2, force_pool=True,
+        heartbeat_interval_ms=50.0, health_poll_ms=50.0,
+    )
+    service = PhastService(ch, graph=graph, config=config)
+    phases: dict[str, dict] = {}
+    recovery: dict[str, float] = {}
+    with serve_in_thread(service) as handle:
+        pool = service.pool
+        with ServerClient(handle.host, handle.port) as probe:
+            n = probe.info()["n"]
+        _drive(handle, n, depots, 2, min(0.25, seconds), pipeline)  # warm
+        phases["before"] = _drive(handle, n, depots, 2, seconds, pipeline)
+
+        victim = pool.supervisor.processes()[0]
+        killed_at = time.monotonic()
+        os.kill(victim.pid, signal.SIGKILL)
+
+        def watch() -> None:
+            # Recovery = full worker complement restored after >= 1
+            # restart; polled out-of-band so the load loop stays pure.
+            while time.monotonic() - killed_at < 60:
+                health = pool.health()
+                if (health["workers_alive"] == pool.num_workers
+                        and health["restarts"] >= 1):
+                    recovery["seconds"] = time.monotonic() - killed_at
+                    return
+                time.sleep(0.01)
+
+        watcher = threading.Thread(target=watch)
+        watcher.start()
+        phases["during"] = _drive(handle, n, depots, 2, seconds, pipeline)
+        watcher.join()
+        phases["after"] = _drive(handle, n, depots, 2, seconds, pipeline)
+        health = pool.health()
+        with ServerClient(handle.host, handle.port) as probe:
+            server_health = probe.health()
+    if "seconds" not in recovery:
+        raise RuntimeError(f"pool never recovered from the kill: {health}")
+    return {
+        "workers": 2,
+        "recovery_seconds": round(recovery["seconds"], 3),
+        "restarts": health["restarts"],
+        "deaths": health["deaths"],
+        "chunk_retries": health["chunk_retries"],
+        "status_after": server_health["status"],
+        "phases": phases,
+    }
+
+
 def run(quiet: bool = False) -> dict:
     loads = _client_loads()
     seconds = _measure_seconds()
@@ -240,6 +305,10 @@ def run(quiet: bool = False) -> dict:
             ch, graph, batching=batching, loads=loads, seconds=seconds,
             pipeline=pipeline, depots=depots,
         )
+
+    record["availability"] = _availability_run(
+        ch, graph, seconds=seconds, pipeline=pipeline, depots=depots
+    )
 
     on = record["modes"]["batching_on"]["points"]
     off = record["modes"]["batching_off"]["points"]
@@ -280,6 +349,24 @@ def run(quiet: bool = False) -> dict:
             f"{record['modes']['batching_on']['mean_batch_size']}; "
             f"speedup at {loads[-1]} clients: "
             f"{record['speedup_at_top_load']}x"
+        )
+        avail = record["availability"]
+        print_table(
+            "availability through one worker SIGKILL (2 supervised workers)",
+            ["phase", "req/s", "p50 ms", "p99 ms"],
+            [
+                [name,
+                 fmt(avail["phases"][name]["throughput_rps"], 0),
+                 fmt(avail["phases"][name]["p50_ms"], 2),
+                 fmt(avail["phases"][name]["p99_ms"], 2)]
+                for name in ("before", "during", "after")
+            ],
+        )
+        print(
+            f"recovery in {avail['recovery_seconds']}s "
+            f"({avail['restarts']} restart(s), "
+            f"{avail['chunk_retries']} chunk retr{'y' if avail['chunk_retries'] == 1 else 'ies'}); "
+            f"status after: {avail['status_after']}"
         )
         for note in record["notes"]:
             print(f"note: {note}")

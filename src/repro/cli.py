@@ -12,6 +12,7 @@ subcommands::
     python -m repro convert map.gr -o map.npz        # DIMACS import
     python -m repro serve map.npz map.ch.npz --port 7171
     python -m repro client --port 7171 --op query --source 0 --target 4095
+    python -m repro doctor --unlink                  # reap orphaned shm
 
 Graphs and hierarchies travel as ``.npz`` artifacts
 (:mod:`repro.graph.serialize`); DIMACS ``.gr`` files are accepted
@@ -236,6 +237,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         num_workers=args.workers,
         sources_per_sweep=args.sweep_k,
         force_pool=args.force_pool,
+        chunk_timeout_ms=(
+            args.chunk_timeout_ms if args.chunk_timeout_ms > 0 else None
+        ),
     )
     service = PhastService(ch, graph=graph, config=config)
     # Belt and braces: the drain path unlinks the pool's shared memory,
@@ -288,6 +292,11 @@ def _cmd_client(args: argparse.Namespace) -> int:
             print(json.dumps(client.info(), indent=2))
         elif op == "metrics":
             print(json.dumps(client.metrics(), indent=2))
+        elif op == "health":
+            health = client.health()
+            print(json.dumps(health, indent=2))
+            if not health.get("ready"):
+                return 1
         elif op == "query":
             _require_args(args, "source", "target")
             resp = client.query(args.source, args.target, stall=args.stall)
@@ -326,6 +335,56 @@ def _cmd_client(args: argparse.Namespace) -> int:
             )
         else:  # pragma: no cover - argparse restricts choices
             raise ValueError(f"unknown op {args.op!r}")
+    return 0
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    """Inspect (and optionally reap) pool shared-memory segments.
+
+    A pool that dies without cleanup — SIGKILL, OOM, a pulled plug —
+    leaves its ``repro-<pid>-<hex>`` segments in ``/dev/shm``.  The
+    embedded pid makes them attributable: a segment whose creator is
+    verifiably dead is an orphan and safe to unlink; segments of live
+    processes (or with unparseable names) are never touched.
+
+    Exit status: 0 when nothing is orphaned (or ``--unlink`` removed
+    everything), 1 when orphans remain — so CI can use it as a leak
+    check.
+    """
+    from .core.supervisor import scan_segments, unlink_orphans
+
+    infos = scan_segments()
+    removed = unlink_orphans(infos) if args.unlink else []
+    removed_names = {info.name for info in removed}
+    remaining = [
+        info for info in infos
+        if info.orphaned and info.name not in removed_names
+    ]
+    if args.json:
+        print(json.dumps({
+            "segments": [
+                {"name": i.name, "size_bytes": i.size_bytes, "pid": i.pid,
+                 "owner_alive": i.owner_alive, "orphaned": i.orphaned}
+                for i in infos
+            ],
+            "orphans": len([i for i in infos if i.orphaned]),
+            "removed": sorted(removed_names),
+        }, indent=2))
+        return 1 if remaining else 0
+    if not infos:
+        print("no pool segments in /dev/shm")
+        return 0
+    for info in infos:
+        owner = (f"pid {info.pid} "
+                 f"{'alive' if info.owner_alive else 'dead'}"
+                 if info.pid is not None else "owner unknown")
+        state = ("removed" if info.name in removed_names
+                 else "ORPHANED" if info.orphaned else "in use")
+        print(f"{info.name}: {info.size_bytes} bytes, {owner} — {state}")
+    if remaining:
+        print(f"{len(remaining)} orphaned segment(s); "
+              "run `repro doctor --unlink` to remove them")
+        return 1
     return 0
 
 
@@ -501,6 +560,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="pool lanes per sweep pass (default: batch-max)")
     sv.add_argument("--force-pool", action="store_true",
                     help="spawn workers even on a single-CPU host")
+    sv.add_argument("--chunk-timeout-ms", type=float, default=0.0,
+                    help="kill + respawn a worker whose chunk exceeds "
+                    "this (<= 0 disables the per-chunk deadline)")
     sv.set_defaults(func=_cmd_serve)
 
     cl = sub.add_parser("client", help="query a running repro server")
@@ -510,7 +572,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="retry the first connection for this many seconds")
     cl.add_argument(
         "--op",
-        choices=("ping", "info", "metrics", "query", "tree",
+        choices=("ping", "info", "metrics", "health", "query", "tree",
                  "one-to-many", "isochrone"),
         default="ping",
     )
@@ -528,6 +590,15 @@ def build_parser() -> argparse.ArgumentParser:
                     help="burst op mix (comma-separated)")
     cl.add_argument("--seed", type=int, default=0)
     cl.set_defaults(func=_cmd_client)
+
+    d = sub.add_parser(
+        "doctor", help="list / reap orphaned pool shared-memory segments"
+    )
+    d.add_argument("--unlink", action="store_true",
+                   help="remove segments whose creating process is dead")
+    d.add_argument("--json", action="store_true",
+                   help="machine-readable report")
+    d.set_defaults(func=_cmd_doctor)
 
     return parser
 

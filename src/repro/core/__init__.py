@@ -11,6 +11,13 @@ from .parallel import (
 from .phast import PhastEngine, phast_scalar
 from .pool import PhastPool, TreeReducer, WorkerContext, install_signal_guard
 from .rphast import RPhastEngine
+from .supervisor import (
+    ChunkQuarantined,
+    FaultPlan,
+    PoolBroken,
+    WorkerSupervisor,
+    parse_fault_plan,
+)
 from .sweep import SweepStructure
 from .trees import (
     parents_in_original_graph,
@@ -31,6 +38,11 @@ __all__ = [
     "TreeReducer",
     "WorkerContext",
     "install_signal_guard",
+    "WorkerSupervisor",
+    "FaultPlan",
+    "parse_fault_plan",
+    "ChunkQuarantined",
+    "PoolBroken",
     "trees_per_core",
     "tree_level_parallel",
     "block_boundaries",

@@ -20,14 +20,28 @@ n-length ``int64`` array per source back through a pipe.
 * **Write in place** — full-distance batches land in a shared output
   matrix (one row per source) written directly by the workers; no
   per-source pickling.
-* **Warm engines, shared queue** — each worker builds its engine once
-  at boot and keeps it across batches, sweeping ``k`` sources per pass
-  (the Section IV-B lanes) and pulling chunks from a shared work queue
-  for load balance.
+* **Warm engines, balanced dispatch** — each worker builds its engine
+  once at boot and keeps it across batches, sweeping ``k`` sources per
+  pass (the Section IV-B lanes).  The parent hands chunks out over
+  per-worker pipes with a small prefetch, topping workers up as
+  results return — the load balance of a shared queue without shared
+  locks a dying worker could wedge.
 * **In-worker reducers** — a :class:`TreeReducer` folds every tree
   into a small per-worker state (max for diameter, flag ORs for arc
   flags, partial sums for betweenness) that is merged in the parent,
   so APSP-scale runs never materialize ``n × n`` distances.
+
+* **Supervised workers** — a :class:`~repro.core.supervisor.WorkerSupervisor`
+  monitor thread watches heartbeats, per-chunk deadlines and
+  ``Process.exitcode``; dead or wedged workers are killed and
+  respawned (re-attaching to the existing segments) and their
+  in-flight chunks are re-dispatched to survivors.  Sweeps are
+  deterministic and source-independent, so re-computed chunks are
+  bit-identical and a worker crash is invisible to callers.  A chunk
+  that repeatedly kills its workers is quarantined with a structured
+  :class:`~repro.core.supervisor.ChunkQuarantined` error instead of
+  cascading, and every queue operation is deadline-aware, so no
+  failure mode can block a batch forever.
 
 The pool is the batch layer the applications
 (:mod:`repro.apps.diameter`, :mod:`repro.apps.arcflags`,
@@ -41,6 +55,8 @@ import atexit
 import os
 import pickle
 import signal
+import threading
+import time
 import traceback
 import weakref
 from dataclasses import dataclass
@@ -53,6 +69,15 @@ from ..ch.hierarchy import ContractionHierarchy
 from ..graph.csr import StaticGraph
 from .parallel import resolve_workers
 from .phast import PhastEngine
+from .supervisor import (
+    ChunkQuarantined,
+    FaultPlan,
+    PoolBroken,
+    WorkerSupervisor,
+    apply_fault,
+    parse_fault_plan,
+    segment_name,
+)
 from .sweep import SweepStructure
 
 __all__ = [
@@ -60,6 +85,9 @@ __all__ = [
     "TreeReducer",
     "WorkerContext",
     "install_signal_guard",
+    "ChunkQuarantined",
+    "PoolBroken",
+    "FaultPlan",
 ]
 
 
@@ -224,6 +252,23 @@ class _ArraySpec:
     offset: int
 
 
+def _create_segment(size: int) -> shared_memory.SharedMemory:
+    """A fresh segment named ``repro-<pid>-<hex>`` (see ``repro doctor``).
+
+    The attributable name lets operators match leaked segments to a
+    dead creator process; a random-collision retry keeps creation
+    robust, falling back to an anonymous kernel-chosen name.
+    """
+    for _ in range(8):
+        try:
+            return shared_memory.SharedMemory(
+                name=segment_name(), create=True, size=max(size, 1)
+            )
+        except FileExistsError:
+            continue
+    return shared_memory.SharedMemory(create=True, size=max(size, 1))
+
+
 def _publish(arrays: dict[str, np.ndarray]) -> tuple[shared_memory.SharedMemory, list[_ArraySpec]]:
     """Copy ``arrays`` into one fresh shared-memory segment."""
     specs: list[_ArraySpec] = []
@@ -233,7 +278,7 @@ def _publish(arrays: dict[str, np.ndarray]) -> tuple[shared_memory.SharedMemory,
         offset = (offset + _ALIGN - 1) // _ALIGN * _ALIGN
         specs.append(_ArraySpec(key, a.dtype.str, a.shape, offset))
         offset += a.nbytes
-    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    shm = _create_segment(offset)
     for spec in specs:
         src = normalized[spec.key]
         view = np.ndarray(
@@ -347,43 +392,44 @@ def _build_worker_state(views: dict[str, np.ndarray], meta: dict):
     return engine, ctx
 
 
-def _run_chunks(engine: PhastEngine, ctx: WorkerContext, chunk_q, k: int,
-                batch: dict, out: np.ndarray | None):
-    """Pull chunks until the sentinel; fold/write each tree."""
+def _run_chunk(engine: PhastEngine, ctx: WorkerContext, k: int, batch: dict,
+               start: int, chunk: list, out: np.ndarray | None):
+    """Process one chunk; every chunk is self-contained and restartable.
+
+    Reduce-mode chunks return a *per-chunk* finished state (the app
+    reducers' ``merge`` is associative, and the parent merges chunk
+    states in chunk order, so the result is deterministic no matter
+    which worker ran which chunk or how often one was re-dispatched).
+    """
     mode = batch["mode"]
     reducer: TreeReducer | None = batch.get("reducer")
     fn: Callable | None = batch.get("fn")
     state = reducer.make_state(ctx) if mode == "reduce" else None
     results: dict[int, object] = {}
     count = 0
-    while True:
-        item = chunk_q.get()
-        if item is None:
-            break
-        start, chunk = item
-        for i in range(0, len(chunk), k):
-            sub = chunk[i : i + k]
-            base = start + i
-            if mode == "dist" and len(sub) > 1:
-                # Lanes scatter straight into the shared rows: no
-                # intermediate per-source array at all.
-                engine.trees(sub, out=out[base : base + len(sub)])
-                count += len(sub)
-                continue
-            if len(sub) == 1:
-                if mode == "dist":
-                    engine.tree(sub[0], dist_out=out[base])
-                    count += 1
-                    continue
-                rows = engine.tree(sub[0]).dist[None, :]
-            else:
-                rows = engine.trees(sub)
-            for j, (s, row) in enumerate(zip(sub, rows)):
-                if mode == "reduce":
-                    state = reducer.fold(ctx, state, base + j, s, row)
-                else:
-                    results[base + j] = fn(s, row)
+    for i in range(0, len(chunk), k):
+        sub = chunk[i : i + k]
+        base = start + i
+        if mode == "dist" and len(sub) > 1:
+            # Lanes scatter straight into the shared rows: no
+            # intermediate per-source array at all.
+            engine.trees(sub, out=out[base : base + len(sub)])
+            count += len(sub)
+            continue
+        if len(sub) == 1:
+            if mode == "dist":
+                engine.tree(sub[0], dist_out=out[base])
                 count += 1
+                continue
+            rows = engine.tree(sub[0]).dist[None, :]
+        else:
+            rows = engine.trees(sub)
+        for j, (s, row) in enumerate(zip(sub, rows)):
+            if mode == "reduce":
+                state = reducer.fold(ctx, state, base + j, s, row)
+            else:
+                results[base + j] = fn(s, row)
+            count += 1
     if mode == "dist":
         return count
     if mode == "reduce":
@@ -391,13 +437,43 @@ def _run_chunks(engine: PhastEngine, ctx: WorkerContext, chunk_q, k: int,
     return results
 
 
-def _drain(chunk_q) -> None:
-    """Consume chunks up to this worker's sentinel after a failure."""
-    while chunk_q.get() is not None:
-        pass
+def _heartbeat_loop(hb, idx: int, interval: float, stop: threading.Event) -> None:
+    """Beat-thread body: stamp liveness ~2x per supervisor interval.
+
+    Runs as a daemon thread so the beat continues while the main
+    thread is deep inside a NumPy sweep; a process that stops beating
+    is genuinely frozen (SIGSTOP, unkillable page-in), not merely busy.
+    The stop event is process-local: the beat must never touch shared
+    locks, because a SIGKILL landing while a shared semaphore is held
+    would wedge every other participant forever.
+    """
+    while True:
+        hb[idx] = time.monotonic()
+        if stop.wait(interval):
+            return
 
 
-def _pool_worker(worker_id, shm_name, specs, meta, ctrl_q, chunk_q, result_q):
+#: Worker-side poll granularity on the work pipe; bounds how long a
+#: shutdown request can go unnoticed.
+_WORKER_POLL_S = 0.1
+
+
+def _pool_worker(slot, incarnation, shm_name, specs, meta, work_conn,
+                 result_conn, hb, claims, fault, fault_budget):
+    # Transport is a pair of simplex pipes private to this worker: a
+    # single reader and single writer per pipe means no shared locks,
+    # so a SIGKILL at any instant cannot wedge the pool (unlike a
+    # shared mp.Queue, whose internal semaphore dies locked with its
+    # holder).  Liveness travels through the lock-free hb/claims
+    # arrays instead.
+    hb[2 * slot] = time.monotonic()
+    beat_stop = threading.Event()
+    threading.Thread(
+        target=_heartbeat_loop,
+        args=(hb, 2 * slot, meta["hb_interval"] / 2.0, beat_stop),
+        daemon=True,
+        name=f"phast-worker-{slot}-heartbeat",
+    ).start()
     shm = None
     out_shm: shared_memory.SharedMemory | None = None
     out_name: str | None = None
@@ -405,16 +481,33 @@ def _pool_worker(worker_id, shm_name, specs, meta, ctrl_q, chunk_q, result_q):
         shm = _attach(shm_name)
         engine, ctx = _build_worker_state(_views(shm, specs), meta)
     except BaseException:
-        result_q.put((None, worker_id, "error", traceback.format_exc()))
+        try:
+            result_conn.send((None, None, slot, "boot_error",
+                              traceback.format_exc()))
+        except (OSError, ValueError, BrokenPipeError):
+            pass
         return
     k = meta["k"]
     n = meta["n"]
     try:
         while True:
-            batch = ctrl_q.get()
-            if batch is None:
-                break
+            if not work_conn.poll(_WORKER_POLL_S):
+                continue
             try:
+                item = work_conn.recv()
+            except (EOFError, OSError):
+                break  # parent is gone
+            if item is None:  # graceful shutdown
+                break
+            batch, chunk_id, start, chunk = item
+            # Publish the claim BEFORE the start stamp: once the stamp
+            # is non-zero the supervisor trusts the claim for poison
+            # accounting, so the order must never expose a stale one.
+            claims[2 * slot] = batch["id"]
+            claims[2 * slot + 1] = chunk_id
+            hb[2 * slot + 1] = time.monotonic()
+            try:
+                apply_fault(fault, fault_budget, slot, chunk_id)
                 out = None
                 if batch["mode"] == "dist":
                     if batch["out_name"] != out_name:
@@ -426,14 +519,20 @@ def _pool_worker(worker_id, shm_name, specs, meta, ctrl_q, chunk_q, result_q):
                         (batch["out_rows"], n), dtype=np.int64,
                         buffer=out_shm.buf,
                     )
-                payload = _run_chunks(engine, ctx, chunk_q, k, batch, out)
-                result_q.put((batch["id"], worker_id, "ok", payload))
+                payload = _run_chunk(engine, ctx, k, batch, start, chunk, out)
+                result_conn.send((batch["id"], chunk_id, slot, "ok", payload))
+            except (OSError, ValueError, BrokenPipeError):
+                break  # parent is gone; nobody to report to
             except BaseException:
-                _drain(chunk_q)
-                result_q.put(
-                    (batch["id"], worker_id, "error", traceback.format_exc())
-                )
+                try:
+                    result_conn.send((batch["id"], chunk_id, slot, "error",
+                                      traceback.format_exc()))
+                except (OSError, ValueError, BrokenPipeError):
+                    break
+            finally:
+                hb[2 * slot + 1] = 0.0
     finally:
+        beat_stop.set()
         try:
             if out_shm is not None:
                 out_shm.close()
@@ -448,6 +547,28 @@ def _pool_worker(worker_id, shm_name, specs, meta, ctrl_q, chunk_q, result_q):
 
 # ---------------------------------------------------------------------------
 # The pool
+
+
+class _Channel:
+    """Parent-side endpoints of one worker incarnation's pipe pair."""
+
+    __slots__ = ("process", "incarnation", "work", "result")
+
+    def __init__(self, process, incarnation: int, work, result) -> None:
+        self.process = process
+        self.incarnation = incarnation
+        self.work = work
+        self.result = result
+
+    def alive(self) -> bool:
+        return self.process.exitcode is None
+
+    def close(self) -> None:
+        for conn in (self.work, self.result):
+            try:
+                conn.close()
+            except OSError:
+                pass
 
 
 class PhastPool:
@@ -488,6 +609,27 @@ class PhastPool:
     chunk_size:
         Sources per work-queue chunk; default balances ~4 chunks per
         worker, rounded to a multiple of ``sources_per_sweep``.
+    heartbeat_interval:
+        Supervisor scan period in seconds.  Worker deaths are detected
+        within roughly one interval; workers beat at twice this rate.
+    chunk_timeout:
+        Per-chunk wall-clock deadline in seconds (``None`` disables).
+        A worker whose chunk exceeds it is considered wedged, killed,
+        and replaced; the chunk is re-dispatched.  Size it well above
+        the slowest legitimate chunk.
+    max_chunk_retries:
+        Worker deaths a single chunk may cause before it is
+        quarantined with :class:`ChunkQuarantined` (default 2: a chunk
+        that kills two workers is poison, not bad luck).
+    max_respawns:
+        Total replacement workers over the pool's lifetime (default
+        ``3 * num_workers``).  When exhausted with no survivors,
+        batches fail with :class:`PoolBroken`.
+    fault_plan:
+        Deterministic fault injection for chaos testing: a
+        :class:`FaultPlan`, a spec string (``"crash:chunk=2"``), or
+        ``None`` to read the ``REPRO_FAULT`` environment variable.
+        Only worker processes fault; the serial path ignores plans.
     """
 
     def __init__(
@@ -503,9 +645,16 @@ class PhastPool:
         reorder: bool = True,
         chunk_size: int | None = None,
         search_cache: int = 0,
+        heartbeat_interval: float = 0.2,
+        chunk_timeout: float | None = None,
+        max_chunk_retries: int = 2,
+        max_respawns: int | None = None,
+        fault_plan: FaultPlan | str | None = None,
     ) -> None:
         if sources_per_sweep < 1:
             raise ValueError("sources_per_sweep must be >= 1")
+        if max_chunk_retries < 1:
+            raise ValueError("max_chunk_retries must be >= 1")
         self.ch = ch
         self.n = ch.n
         self.k = int(sources_per_sweep)
@@ -518,8 +667,27 @@ class PhastPool:
         }
         self.batches_run = 0
         self.trees_computed = 0
+        self.chunk_retries = 0
+        self.chunks_quarantined = 0
         self._closed = False
         self._batch_counter = 0
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.chunk_timeout = chunk_timeout
+        self.max_chunk_retries = int(max_chunk_retries)
+        self.max_respawns = max_respawns
+        if isinstance(fault_plan, str):
+            fault_plan = parse_fault_plan(fault_plan)
+        elif fault_plan is None:
+            fault_plan = parse_fault_plan(os.environ.get("REPRO_FAULT"))
+        self._fault_plan = fault_plan
+        self._fault_budget = None
+        self._last_boot_error: str | None = None
+        self._supervisor: WorkerSupervisor | None = None
+        self._channels: list[_Channel | None] = []
+        self._inflight = 0
+        #: Chunks kept queued per worker beyond the one in flight; keeps
+        #: pipes shallow so a dead worker strands at most this many.
+        self._prefetch = 2
 
         if force_pool:
             if num_workers is None:
@@ -541,8 +709,6 @@ class PhastPool:
         self._out_shm: shared_memory.SharedMemory | None = None
         self._retired: list[shared_memory.SharedMemory] = []
         self._out_rows = 0
-        self._procs: list = []
-        self._ctrl_qs: list = []
         if not self._serial:
             self._start_workers(context)
         _LIVE_POOLS.add(self)
@@ -553,6 +719,7 @@ class PhastPool:
         import multiprocessing as mp
 
         ctx = mp.get_context(context)
+        self._channels = [None] * self.num_workers
         published: dict[str, np.ndarray] = {}
         published.update(_sweep_keys(self._engine.sweep))
         published["up:first"] = self.ch.upward.first
@@ -573,22 +740,49 @@ class PhastPool:
             "search_cache": self.search_cache,
             "graphs": list(self._graphs),
             "arrays": list(self._arrays),
+            "hb_interval": self.heartbeat_interval,
         }
-        self._chunk_q = ctx.Queue()
-        self._result_q = ctx.Queue()
-        for w in range(self.num_workers):
-            cq = ctx.SimpleQueue()
+        if self._fault_plan is not None and self._fault_plan.times is not None:
+            # Shared trigger budget: respawned workers see the same
+            # counter, so "times=1" means one crash pool-wide, ever.
+            self._fault_budget = ctx.Value("i", self._fault_plan.times)
+        self._supervisor = WorkerSupervisor(
+            ctx,
+            self.num_workers,
+            heartbeat_interval=self.heartbeat_interval,
+            chunk_timeout=self.chunk_timeout,
+            max_respawns=self.max_respawns,
+        )
+        shm_name = self._shm.name
+        sup = self._supervisor
+        fault, fault_budget = self._fault_plan, self._fault_budget
+        channels = self._channels
+
+        def spawn(slot: int, incarnation: int):
+            # Simplex pipes, one pair per worker incarnation: the only
+            # shared mutable state a worker can die holding is its own
+            # channel, which dies with it (kill-safety — see
+            # _pool_worker).  Runs in the supervisor thread on respawn;
+            # the slot assignment below is atomic, and the batch loop
+            # picks the fresh channel up on its next poll.
+            work_r, work_w = ctx.Pipe(duplex=False)
+            result_r, result_w = ctx.Pipe(duplex=False)
             p = ctx.Process(
                 target=_pool_worker,
                 args=(
-                    w, self._shm.name, specs, meta, cq, self._chunk_q,
-                    self._result_q,
+                    slot, incarnation, shm_name, specs, meta, work_r,
+                    result_w, sup.hb, sup.claims, fault, fault_budget,
                 ),
                 daemon=True,
+                name=f"phast-pool-worker-{slot}.{incarnation}",
             )
             p.start()
-            self._ctrl_qs.append(cq)
-            self._procs.append(p)
+            work_r.close()
+            result_w.close()
+            channels[slot] = _Channel(p, incarnation, work_w, result_r)
+            return p
+
+        sup.start(spawn)
 
     def close(self) -> None:
         """Shut workers down and unlink every shared-memory segment.
@@ -600,20 +794,24 @@ class PhastPool:
         if self._closed:
             return
         self._closed = True
-        for cq in self._ctrl_qs:
-            try:
-                cq.put(None)
-            except (OSError, ValueError):
-                pass
-        for p in self._procs:
-            p.join(timeout=10)
-            if p.is_alive():
-                p.terminate()
-                p.join(timeout=5)
+        if not self._serial and self._supervisor is not None:
+            self._supervisor.stop()  # no more respawns behind our back
+            for ch in self._channels:
+                if ch is None:
+                    continue
+                try:
+                    ch.work.send(None)  # graceful shutdown request
+                except (OSError, ValueError, BrokenPipeError):
+                    pass
+            for ch in self._channels:
+                if ch is None:
+                    continue
+                ch.process.join(timeout=10)
+                if ch.process.is_alive():
+                    ch.process.terminate()
+                    ch.process.join(timeout=5)
+                ch.close()
         self._unlink_segments()
-        if not self._serial:
-            self._chunk_q.close()
-            self._result_q.close()
 
     def _emergency_close(self) -> None:
         """Signal-safe teardown: kill workers, unlink, touch no queues.
@@ -623,16 +821,22 @@ class PhastPool:
         lock mid-``put``.  Everything here is lock-free with respect to
         the queues: ``terminate`` is a plain ``kill(2)``, ``join`` a
         ``waitpid``, and unlinking only touches ``/dev/shm`` names.
+        The supervisor is aborted via flags only (no joins), so a
+        respawn can't race the teardown.
         """
         if self._closed:
             return
         self._closed = True
-        for p in self._procs:
+        procs = []
+        if self._supervisor is not None:
+            self._supervisor.abort()
+            procs = [ch.process for ch in self._channels if ch is not None]
+        for p in procs:
             try:
                 p.terminate()
             except Exception:
                 pass
-        for p in self._procs:
+        for p in procs:
             try:
                 p.join(timeout=5)
                 if p.is_alive():
@@ -713,9 +917,7 @@ class PhastPool:
         if self._out_shm is None or self._out_rows < rows:
             if self._out_shm is not None:
                 self._retire(self._out_shm)
-            self._out_shm = shared_memory.SharedMemory(
-                create=True, size=max(nbytes, 1)
-            )
+            self._out_shm = _create_segment(nbytes)
             self._out_rows = rows
         full = np.ndarray(
             (self._out_rows, self.n), dtype=np.int64, buffer=self._out_shm.buf
@@ -812,48 +1014,169 @@ class PhastPool:
         if batch["mode"] == "dist":
             batch["out_name"] = self._out_shm.name
             batch["out_rows"] = self._out_rows
-        for cq in self._ctrl_qs:
-            cq.put(batch)
-        for chunk in self._chunks(sources):
-            self._chunk_q.put(chunk)
-        for _ in range(self.num_workers):
-            self._chunk_q.put(None)
-        payloads, errors = [], []
-        pending = self.num_workers
-        while pending:
-            msg = self._collect_one()
-            batch_id, _worker, status, payload = msg
-            if status == "error":
-                errors.append(payload)
-                if batch_id is not None:
-                    pending -= 1
-            elif batch_id == batch["id"]:
-                payloads.append(payload)
-                pending -= 1
-            # Stale messages from an aborted earlier batch are dropped.
-            if errors and batch_id is None:
-                break
-        if errors:
-            raise RuntimeError(
-                "pool worker failed:\n" + "\n".join(errors)
-            )
+        payloads = self._run_supervised(batch, self._chunks(sources))
         if batch["mode"] == "dist":
             return None
         return payloads
 
-    def _collect_one(self):
-        import queue as _queue
+    def _run_supervised(self, batch: dict, chunks: list) -> list:
+        """Dispatch chunks over per-worker pipes; collect under supervision.
 
-        while True:
-            try:
-                return self._result_q.get(timeout=1.0)
-            except _queue.Empty:
-                dead = [p for p in self._procs if not p.is_alive()]
-                if dead:
-                    raise RuntimeError(
-                        f"{len(dead)} pool worker(s) died unexpectedly "
-                        f"(exit codes {[p.exitcode for p in dead]})"
+        The parent drives dispatch: each live worker holds at most
+        ``1 + _prefetch`` chunks (one in flight, the rest queued in its
+        pipe), and is topped up as results return, which load-balances
+        exactly like a shared queue.  Because assignment is
+        parent-side, a dead worker's chunks are known precisely and
+        re-dispatched to survivors; quarantine accounting only charges
+        the chunk the worker was *actively* computing (its claim), not
+        innocent prefetched ones.  Every wait is bounded
+        (``connection.wait`` with a timeout), duplicate completions are
+        deduplicated by chunk id (first result wins), and reduce-mode
+        states merge in chunk order — so results are bit-identical no
+        matter how many deaths and re-dispatches occurred.
+        """
+        from multiprocessing import connection as _mpconn
+
+        sup = self._supervisor
+        sup.pop_events()  # discard deaths that predate this batch
+        outstanding: dict[int, tuple[int, list]] = {
+            cid: (start, chunk) for cid, (start, chunk) in enumerate(chunks)
+        }
+        self._inflight = len(outstanding)
+        pending = list(sorted(outstanding, reverse=True))  # pop() = lowest cid
+        assigned: dict[int, tuple[int, int]] = {}
+        load: dict[tuple[int, int], set] = {}
+        payloads: dict[int, object] = {}
+        deaths: dict[int, int] = {}
+        poll = min(0.2, max(0.02, self.heartbeat_interval))
+
+        def fill() -> None:
+            for slot, ch in enumerate(self._channels):
+                if not pending:
+                    return
+                if ch is None or not ch.alive():
+                    continue
+                key = (slot, ch.incarnation)
+                held = load.setdefault(key, set())
+                while pending and len(held) <= self._prefetch:
+                    cid = pending[-1]
+                    start, chunk = outstanding[cid]
+                    try:
+                        ch.work.send((batch, cid, start, chunk))
+                    except (OSError, ValueError, BrokenPipeError):
+                        break  # dying worker; its DeathEvent requeues
+                    pending.pop()
+                    assigned[cid] = key
+                    held.add(cid)
+
+        try:
+            while outstanding:
+                fill()
+                conns = [
+                    ch.result for ch in self._channels if ch is not None
+                ]
+                try:
+                    ready = _mpconn.wait(conns, timeout=poll) if conns else []
+                except OSError:
+                    ready = []
+                for conn in ready:
+                    while True:
+                        try:
+                            if not conn.poll(0):
+                                break
+                            msg = conn.recv()
+                        except (EOFError, OSError):
+                            break  # dead worker; its DeathEvent follows
+                        batch_id, cid, _slot, status, payload = msg
+                        if status == "boot_error":
+                            self._last_boot_error = payload
+                        elif batch_id != batch["id"]:
+                            pass  # stale: a superseded earlier batch
+                        elif status == "error":
+                            raise RuntimeError(
+                                "pool worker failed:\n" + payload
+                            )
+                        elif cid in outstanding:
+                            payloads[cid] = payload
+                            del outstanding[cid]
+                            self._inflight = len(outstanding)
+                            key = assigned.pop(cid, None)
+                            if key is not None:
+                                load.get(key, set()).discard(cid)
+                for ev in sup.pop_events():
+                    if (ev.batch_id == batch["id"]
+                            and ev.chunk_id is not None
+                            and ev.chunk_id in outstanding):
+                        cid = ev.chunk_id
+                        deaths[cid] = deaths.get(cid, 0) + 1
+                        if deaths[cid] >= self.max_chunk_retries:
+                            self.chunks_quarantined += 1
+                            raise ChunkQuarantined(
+                                cid, outstanding[cid][1], deaths[cid],
+                                ev.reason,
+                            )
+                    # Requeue everything the dead incarnation held: the
+                    # claimed chunk plus any stranded in its pipe.
+                    for cid in sorted(load.pop((ev.slot, ev.incarnation),
+                                               set())):
+                        assigned.pop(cid, None)
+                        if cid in outstanding:
+                            self.chunk_retries += 1
+                            pending.append(cid)
+                if outstanding and not sup.healthy():
+                    detail = ""
+                    if self._last_boot_error:
+                        detail = ("; last worker boot failure:\n"
+                                  + self._last_boot_error)
+                    raise PoolBroken(
+                        f"all {self.num_workers} pool workers are gone and "
+                        f"the respawn budget is exhausted{detail}"
                     )
+        finally:
+            self._inflight = 0
+        return [payloads[cid] for cid in sorted(payloads)]
+
+    # -- health ------------------------------------------------------------
+
+    def health(self) -> dict:
+        """Liveness/fault counters for readiness probes and metrics."""
+        base = {
+            "serial": self._serial,
+            "workers_configured": self.num_workers,
+            "chunk_retries": self.chunk_retries,
+            "chunks_quarantined": self.chunks_quarantined,
+        }
+        if self._serial:
+            base.update(
+                workers_alive=0 if self._closed else 1,
+                deaths=0, restarts=0, wedged=0,
+                respawn_budget=0, queue_depth=0,
+            )
+            return base
+        stats = self._supervisor.stats()
+        depth = self._inflight
+        base.update(
+            workers_alive=0 if self._closed else stats["alive"],
+            deaths=stats["deaths"],
+            restarts=stats["restarts"],
+            wedged=stats["wedged"],
+            respawn_budget=stats["respawn_budget"],
+            queue_depth=depth,
+        )
+        return base
+
+    def capacity_fraction(self) -> float:
+        """Live workers / configured workers, in [0, 1] (serial: 1.0)."""
+        if self._closed:
+            return 0.0
+        if self._serial:
+            return 1.0
+        return min(1.0, self._supervisor.alive_count() / max(1, self.num_workers))
+
+    @property
+    def supervisor(self) -> WorkerSupervisor | None:
+        """The worker supervisor (``None`` on the serial path)."""
+        return self._supervisor
 
     def _execute_serial(self, batch: dict, sources: list[int], out=None):
         ctx = WorkerContext(self.n, {}, self._arrays, graphs=self._graphs)

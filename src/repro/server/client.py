@@ -5,10 +5,27 @@ request at a time (closed-loop).  It is deliberately synchronous —
 load generators and applications scale by running one client per
 thread, which is also how the benchmark applies offered load.  Not
 thread-safe; share nothing, connect per thread.
+
+Failure semantics
+-----------------
+Every query op is a pure read, so lost-connection retries are safe:
+``call`` reconnects and retries transient transport failures (refused
+connection, reset, server closed mid-request) with exponential
+backoff plus jitter, up to ``max_retries`` times.  Application-level
+failures — :class:`ServerError` envelopes and
+:class:`~repro.server.protocol.ProtocolError` — are never retried:
+the server answered; asking again would repeat the answer.
+
+A per-call read ``timeout=`` bounds how long one response may take.
+When it fires the connection is dropped (the frame stream is now
+desynchronized — a late response would misalign request ids) and
+``TimeoutError`` is raised naming the endpoint; the next call
+reconnects.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 
@@ -36,19 +53,38 @@ class ServerClient:
     host, port:
         Where the service listens.
     timeout:
-        Socket timeout in seconds for each send/receive.
+        Default socket timeout in seconds for each send/receive;
+        ``call(..., timeout=)`` overrides it for one read.
     connect_retry_s:
         Keep retrying the initial connection for this many seconds —
         lets scripts start a client right after forking the server.
+    max_retries:
+        How many times ``call`` re-attempts after a transient
+        connection failure (0 disables retrying).
+    backoff_s:
+        Base delay before the first retry; doubles per attempt, with
+        uniform jitter in ``[0.5x, 1.5x)`` so a thundering herd of
+        clients does not reconnect in lockstep.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7171, *,
-                 timeout: float = 60.0, connect_retry_s: float = 0.0) -> None:
+                 timeout: float = 60.0, connect_retry_s: float = 0.0,
+                 max_retries: int = 2, backoff_s: float = 0.05) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
         self.host = host
         self.port = int(port)
         self._timeout = timeout
+        self.max_retries = int(max_retries)
+        self.backoff_s = float(backoff_s)
         self._next_id = 0
-        self._sock = self._connect(connect_retry_s)
+        self._sock: socket.socket | None = self._connect(connect_retry_s)
+
+    @property
+    def _endpoint(self) -> str:
+        return f"{self.host}:{self.port}"
 
     def _connect(self, retry_s: float) -> socket.socket:
         deadline = time.monotonic() + retry_s
@@ -59,21 +95,80 @@ class ServerClient:
                 )
                 sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
                 return sock
-            except OSError:
+            except OSError as exc:
                 if time.monotonic() >= deadline:
-                    raise
+                    raise ConnectionError(
+                        f"cannot connect to {self._endpoint}: {exc}"
+                    ) from exc
                 time.sleep(0.05)
+
+    def _drop(self) -> None:
+        """Discard the connection; the next call reconnects."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
 
     # -- plumbing ----------------------------------------------------------
 
-    def call(self, op: str, **params) -> dict:
-        """One request/response round trip; raises :class:`ServerError`."""
+    def call(self, op: str, *, timeout: float | None = None, **params) -> dict:
+        """One request/response round trip; raises :class:`ServerError`.
+
+        ``timeout`` bounds this call's response read (seconds); when it
+        fires, ``TimeoutError`` is raised and the connection dropped.
+        Transient connection failures are retried with backoff; the
+        request ids restart per connection, so a retry never collides
+        with a stale in-flight response.
+        """
+        delay = self.backoff_s
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                time.sleep(delay * (0.5 + random.random()))
+                delay *= 2
+            try:
+                return self._call_once(op, params, timeout)
+            except ConnectionError:
+                self._drop()
+                if attempt >= self.max_retries:
+                    raise
+        raise AssertionError("unreachable")
+
+    def _call_once(self, op: str, params: dict, timeout: float | None) -> dict:
+        if self._sock is None:
+            self._sock = self._connect(0.0)
+            self._next_id = 0
+        sock = self._sock
         self._next_id += 1
         req_id = self._next_id
-        protocol.send_message(self._sock, {"id": req_id, "op": op, **params})
-        resp = protocol.recv_message(self._sock)
+        try:
+            protocol.send_message(sock, {"id": req_id, "op": op, **params})
+        except OSError as exc:
+            raise ConnectionError(
+                f"lost connection to {self._endpoint} while sending: {exc}"
+            ) from exc
+        if timeout is not None:
+            sock.settimeout(timeout)
+        try:
+            resp = protocol.recv_message(sock)
+        except TimeoutError as exc:
+            self._drop()  # frame stream is desynchronized now
+            limit = self._timeout if timeout is None else timeout
+            raise TimeoutError(
+                f"no response from {self._endpoint} within {limit}s"
+            ) from exc
+        except OSError as exc:
+            raise ConnectionError(
+                f"lost connection to {self._endpoint} while reading: {exc}"
+            ) from exc
+        finally:
+            if timeout is not None and self._sock is sock:
+                sock.settimeout(self._timeout)
         if resp is None:
-            raise ConnectionError("server closed the connection")
+            raise ConnectionError(
+                f"{self._endpoint} closed the connection mid-request"
+            )
         if resp.get("id") != req_id:
             raise protocol.ProtocolError(
                 f"response id {resp.get('id')!r} != request id {req_id}"
@@ -85,10 +180,7 @@ class ServerClient:
         return resp
 
     def close(self) -> None:
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        self._drop()
 
     def __enter__(self) -> "ServerClient":
         return self
@@ -145,3 +237,10 @@ class ServerClient:
 
     def metrics(self) -> dict:
         return self.call("metrics")["metrics"]
+
+    def health(self) -> dict:
+        """Supervision health: status, capacity, pool and admission state."""
+        resp = self.call("health")
+        resp.pop("id", None)
+        resp.pop("ok", None)
+        return resp

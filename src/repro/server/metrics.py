@@ -31,6 +31,7 @@ class ServerMetrics:
         self.latency: dict[str, LatencyHistogram] = {}
         # Micro-batching telemetry.
         self.batch_sizes: dict[int, int] = {}
+        self.batch_failures = 0
         self.lanes_total = 0
         self.batch_wait = LatencyHistogram()
         self.sweep_time = LatencyHistogram()
@@ -63,6 +64,11 @@ class ServerMetrics:
                 self.batch_wait.observe(max(0.0, w))
             self.sweep_time.observe(sweep_s)
 
+    def record_batch_failure(self) -> None:
+        """One dispatched micro-batch whose sweep raised."""
+        with self._lock:
+            self.batch_failures += 1
+
     def snapshot(self, admission: dict | None = None,
                  pool: dict | None = None) -> dict:
         """JSON-able view of everything above."""
@@ -78,6 +84,7 @@ class ServerMetrics:
                 },
                 "batches": {
                     "count": batches,
+                    "failures": self.batch_failures,
                     "size_histogram": {
                         str(s): c for s, c in sorted(self.batch_sizes.items())
                     },

@@ -37,6 +37,8 @@ import asyncio
 import time
 from typing import Callable
 
+from ..core.supervisor import ChunkQuarantined, PoolBroken
+
 __all__ = ["DeadlineExceeded", "SchedulerStopped", "SweepRequest", "MicroBatcher"]
 
 
@@ -250,11 +252,17 @@ class MicroBatcher:
                 self.executor, self._sweep_and_finalize, live
             )
         except BaseException as exc:  # pool failure: fail the whole batch
+            if self.metrics is not None:
+                self.metrics.record_batch_failure()
+            # Structured pool faults keep their type so the service can
+            # map them to distinct status codes (quarantine vs broken).
+            if isinstance(exc, (ChunkQuarantined, PoolBroken)):
+                failure: BaseException = exc
+            else:
+                failure = RuntimeError(f"sweep failed: {exc}")
             for req in live:
                 if req.live:
-                    req.future.set_exception(
-                        RuntimeError(f"sweep failed: {exc}")
-                    )
+                    req.future.set_exception(failure)
             return
         if self.metrics is not None:
             self.metrics.record_batch(len(live), waits, sweep_s, lanes=lanes)

@@ -11,8 +11,9 @@ One process, one preprocessed hierarchy, four query types:
     enter the :class:`~repro.server.scheduler.MicroBatcher` and ride a
     shared k-lane sweep, differing only in how the row is post-processed
     (whole row / gather at targets / threshold).
-``ping`` / ``info`` / ``metrics``
-    Health, instance facts, and serving statistics.
+``ping`` / ``info`` / ``metrics`` / ``health``
+    Liveness, instance facts, serving statistics, and readiness (pool
+    live-worker count, restart/retry/quarantine counters, queue depth).
 
 The event loop only parses frames, routes, and awaits futures; all
 NumPy work happens on a small thread pool.  Sweeps are serialized by
@@ -37,6 +38,7 @@ import numpy as np
 
 from ..ch.query import ch_query
 from ..core.pool import PhastPool
+from ..core.supervisor import ChunkQuarantined, PoolBroken
 from ..graph.csr import INF
 from . import protocol
 from .admission import AdmissionController
@@ -53,7 +55,7 @@ __all__ = ["ServerConfig", "PhastService", "ServerHandle", "serve_in_thread"]
 #: Ops that perform shortest-path work (and thus pass admission).
 WORK_OPS = ("query", "tree", "one_to_many", "isochrone")
 #: Ops answered even while draining.
-ADMIN_OPS = ("ping", "info", "metrics")
+ADMIN_OPS = ("ping", "info", "metrics", "health")
 
 
 @dataclass
@@ -85,6 +87,17 @@ class ServerConfig:
     #: Repeat origins — depots, hubs, popular tiles — skip the
     #: per-source CH search entirely on a hit.
     search_cache: int = 1024
+    #: Pool supervisor scan period (worker-death detection latency).
+    heartbeat_interval_ms: float = 200.0
+    #: Per-chunk wall-clock deadline for wedged-worker reclaim
+    #: (``None`` disables; size well above the slowest honest chunk).
+    chunk_timeout_ms: float | None = None
+    #: Worker deaths one chunk may cause before quarantine.
+    max_chunk_retries: int = 2
+    #: Lifetime respawn budget (``None`` = pool default, 3x workers).
+    max_respawns: int | None = None
+    #: How often the degraded-admission loop samples pool capacity.
+    health_poll_ms: float = 250.0
 
     def __post_init__(self) -> None:
         if self.batch_max < 1:
@@ -95,6 +108,12 @@ class ServerConfig:
             raise ValueError("executor_threads must be >= 1")
         if self.search_cache < 0:
             raise ValueError("search_cache must be >= 0")
+        if self.heartbeat_interval_ms <= 0:
+            raise ValueError("heartbeat_interval_ms must be > 0")
+        if self.chunk_timeout_ms is not None and self.chunk_timeout_ms <= 0:
+            raise ValueError("chunk_timeout_ms must be > 0 (or None)")
+        if self.health_poll_ms <= 0:
+            raise ValueError("health_poll_ms must be > 0")
 
 
 class _BadRequest(Exception):
@@ -140,6 +159,11 @@ class PhastService:
             sources_per_sweep=lanes,
             force_pool=self.config.force_pool,
             search_cache=self.config.search_cache,
+            heartbeat_interval=self.config.heartbeat_interval_ms / 1e3,
+            chunk_timeout=(None if self.config.chunk_timeout_ms is None
+                           else self.config.chunk_timeout_ms / 1e3),
+            max_chunk_retries=self.config.max_chunk_retries,
+            max_respawns=self.config.max_respawns,
         )
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.executor_threads,
@@ -159,6 +183,7 @@ class PhastService:
         self._draining = False
         self._drained: asyncio.Event | None = None
         self._drain_task: asyncio.Task | None = None
+        self._capacity_task: asyncio.Task | None = None
         self.host = self.config.host
         self.port = self.config.port
 
@@ -179,6 +204,17 @@ class PhastService:
         sock = self._server.sockets[0].getsockname()
         self.host, self.port = sock[0], sock[1]
         self.batcher.start()
+        self._capacity_task = loop.create_task(self._capacity_loop())
+
+    async def _capacity_loop(self) -> None:
+        """Feed pool liveness into admission (degraded mode)."""
+        period = self.config.health_poll_ms / 1e3
+        while True:
+            try:
+                self.admission.set_capacity(self.pool.capacity_fraction())
+            except Exception:
+                pass  # never let a glitch kill the feedback loop
+            await asyncio.sleep(period)
 
     async def drain(self) -> None:
         """Graceful shutdown: finish admitted work, refuse the rest."""
@@ -191,6 +227,12 @@ class PhastService:
     async def _drain_impl(self) -> None:
         self._draining = True
         self.admission.start_draining()
+        if self._capacity_task is not None:
+            self._capacity_task.cancel()
+            try:
+                await self._capacity_task
+            except (asyncio.CancelledError, Exception):
+                pass
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -295,6 +337,16 @@ class PhastService:
             response = self._error(req_id, protocol.DEADLINE, str(exc))
         except SchedulerStopped as exc:
             response = self._error(req_id, protocol.UNAVAILABLE, str(exc))
+        except PoolBroken as exc:
+            # No workers and no respawn budget: the instance can't do
+            # sweep work anymore — clients should fail over.
+            response = self._error(
+                req_id, protocol.UNAVAILABLE, f"PoolBroken: {exc}"
+            )
+        except ChunkQuarantined as exc:
+            response = self._error(
+                req_id, protocol.INTERNAL, f"ChunkQuarantined: {exc}"
+            )
         except asyncio.CancelledError:
             raise
         except Exception as exc:
@@ -325,6 +377,9 @@ class PhastService:
                 serial_pool=self.pool.serial,
                 draining=self._draining,
             )
+        if op == "health":
+            return protocol.ok_response(req_id, **self._health())
+        pool_health = self.pool.health()
         return protocol.ok_response(
             req_id,
             metrics=self.metrics.snapshot(
@@ -334,9 +389,35 @@ class PhastService:
                     "serial": self.pool.serial,
                     "batches_run": self.pool.batches_run,
                     "trees_computed": self.pool.trees_computed,
+                    "alive": pool_health["workers_alive"],
+                    "deaths": pool_health["deaths"],
+                    "restarts": pool_health["restarts"],
+                    "wedged": pool_health["wedged"],
+                    "chunk_retries": pool_health["chunk_retries"],
+                    "chunks_quarantined": pool_health["chunks_quarantined"],
                 },
             ),
         )
+
+    def _health(self) -> dict:
+        """Readiness payload: pool liveness + admission pressure."""
+        pool_health = self.pool.health()
+        capacity = self.pool.capacity_fraction()
+        if self._draining:
+            status = "draining"
+        elif capacity >= 1.0:
+            status = "ok"
+        elif capacity > 0.0:
+            status = "degraded"
+        else:
+            status = "down"
+        return {
+            "status": status,
+            "ready": not self._draining and capacity > 0.0,
+            "capacity": capacity,
+            "pool": pool_health,
+            "admission": self.admission.snapshot(),
+        }
 
     def _deadline(self, msg: dict) -> float | None:
         timeout_ms = msg.get("timeout_ms", self.config.default_timeout_ms)

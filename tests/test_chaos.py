@@ -1,0 +1,345 @@
+"""Chaos tests: the pool and server under injected worker faults.
+
+PHAST sweeps are deterministic, so every recovery scenario has an
+exact oracle — the distance matrix after a crash, hang, or respawn
+must be bit-identical to the undisturbed run.  Each scenario also
+asserts zero shared-memory leakage: fault tolerance that trades
+crashes for /dev/shm exhaustion is no fault tolerance at all.
+"""
+
+import glob
+import os
+import signal
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import ChunkQuarantined, FaultPlan, PhastPool, parse_fault_plan
+from repro.server import (
+    PhastService,
+    ServerClient,
+    ServerConfig,
+    ServerError,
+    protocol,
+    serve_in_thread,
+)
+from repro.sssp import dijkstra
+
+
+def _shm_names() -> set:
+    return set(glob.glob("/dev/shm/psm_*")) | set(glob.glob("/dev/shm/repro-*"))
+
+
+@pytest.fixture(scope="module")
+def reference(road):
+    sources = list(range(0, 40, 5))
+    ref = np.stack(
+        [dijkstra(road, s, with_parents=False).dist for s in sources]
+    )
+    return sources, ref
+
+
+# ---------------------------------------------------------------------------
+# Fault plan parsing
+
+
+def test_parse_fault_plan_specs():
+    assert parse_fault_plan(None) is None
+    assert parse_fault_plan("") is None
+    assert parse_fault_plan("   ") is None
+
+    plan = parse_fault_plan("crash")
+    assert plan == FaultPlan(kind="crash", times=1)
+
+    plan = parse_fault_plan("crash:chunk=2,times=2")
+    assert (plan.kind, plan.chunk, plan.times) == ("crash", 2, 2)
+
+    plan = parse_fault_plan("hang:chunk=1,worker=0")
+    assert (plan.kind, plan.chunk, plan.worker, plan.times) == ("hang", 1, 0, 1)
+
+    plan = parse_fault_plan("slow:ms=25")
+    assert (plan.kind, plan.ms, plan.times) == ("slow", 25.0, None)
+
+    plan = parse_fault_plan("slow:chunk=any,times=inf")
+    assert (plan.chunk, plan.times) == (None, None)
+
+
+@pytest.mark.parametrize("spec", [
+    "explode",                 # unknown kind
+    "crash:chunk",             # not key=value
+    "crash:chunk=x",           # non-integer
+    "crash:volume=11",         # unknown field
+    "crash:times=0",           # budget must be >= 1
+    "slow:ms=-5",              # negative sleep
+])
+def test_parse_fault_plan_rejects(spec):
+    with pytest.raises(ValueError):
+        parse_fault_plan(spec)
+
+
+def test_fault_plan_env_pickup(road_ch, monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT", "slow:ms=1,worker=0")
+    with PhastPool(road_ch, num_workers=1) as pool:
+        assert pool._fault_plan == FaultPlan(kind="slow", ms=1.0, worker=0)
+    monkeypatch.delenv("REPRO_FAULT")
+    with PhastPool(road_ch, num_workers=1) as pool:
+        assert pool._fault_plan is None
+
+
+# ---------------------------------------------------------------------------
+# Pool-level chaos
+
+
+def test_crash_fault_recovers_bit_identical(road_ch, reference):
+    """A worker SIGKILLed mid-chunk: survivors redo its work exactly."""
+    sources, ref = reference
+    before = _shm_names()
+    with PhastPool(
+        road_ch, num_workers=2, force_pool=True,
+        fault_plan="crash:chunk=1",
+    ) as pool:
+        assert np.array_equal(pool.trees(sources), ref)
+        health = pool.health()
+        assert health["deaths"] >= 1
+        assert health["restarts"] >= 1
+        assert health["chunk_retries"] >= 1
+        assert health["workers_alive"] == 2  # replacement rejoined
+        # The respawned worker re-attached to the same segments: a
+        # second batch must also be exact.
+        assert np.array_equal(pool.trees(sources), ref)
+    assert _shm_names() <= before
+
+
+def test_external_sigkill_recovers_bit_identical(road_ch, reference):
+    """An OOM-style kill from outside (not injected in the chunk loop)."""
+    sources, ref = reference
+    before = _shm_names()
+    with PhastPool(
+        road_ch, num_workers=2, force_pool=True,
+        # Stretch every chunk so the kill lands mid-batch.
+        fault_plan="slow:ms=150",
+    ) as pool:
+        victim = pool.supervisor.processes()[0]
+        done = threading.Event()
+
+        def assassin():
+            time.sleep(0.2)
+            try:
+                os.kill(victim.pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+            done.set()
+
+        threading.Thread(target=assassin, daemon=True).start()
+        got = pool.trees(sources)
+        done.wait(5)
+        assert np.array_equal(got, ref)
+    assert _shm_names() <= before
+
+
+def test_hang_fault_reclaimed_by_chunk_deadline(road_ch, reference):
+    """A wedged worker (heartbeat alive, chunk stuck) hits the deadline."""
+    sources, ref = reference
+    before = _shm_names()
+    with PhastPool(
+        road_ch, num_workers=2, force_pool=True,
+        heartbeat_interval=0.05, chunk_timeout=0.5,
+        fault_plan="hang:chunk=3",
+    ) as pool:
+        assert np.array_equal(pool.trees(sources), ref)
+        health = pool.health()
+        assert health["wedged"] >= 1
+        assert health["restarts"] >= 1
+    assert _shm_names() <= before
+
+
+def test_poison_chunk_quarantined_then_pool_usable(road_ch, reference):
+    """A chunk that kills two workers fails structurally, not fatally."""
+    sources, ref = reference
+    before = _shm_names()
+    with PhastPool(
+        road_ch, num_workers=2, force_pool=True,
+        max_chunk_retries=2,
+        fault_plan="crash:chunk=2,times=2",
+    ) as pool:
+        with pytest.raises(ChunkQuarantined) as excinfo:
+            pool.trees(sources)
+        exc = excinfo.value
+        assert exc.chunk_id == 2
+        assert exc.sources == [sources[2]]
+        assert exc.deaths == 2
+        assert pool.health()["chunks_quarantined"] == 1
+        # The fault budget is spent: the next batch must run clean on
+        # the rebuilt worker set.
+        assert np.array_equal(pool.trees(sources), ref)
+    assert _shm_names() <= before
+
+
+def test_capacity_fraction_tracks_lifecycle(road_ch):
+    with PhastPool(road_ch, num_workers=2, force_pool=True) as pool:
+        assert pool.capacity_fraction() == 1.0
+    assert pool.capacity_fraction() == 0.0
+    with PhastPool(road_ch, num_workers=1) as pool:  # serial path
+        assert pool.capacity_fraction() == 1.0
+        assert pool.health()["serial"] is True
+
+
+# ---------------------------------------------------------------------------
+# Server-level chaos
+
+
+def test_server_survives_worker_kill(road, road_ch):
+    """`repro serve` keeps answering (correctly) through a worker death."""
+    before = _shm_names()
+    service = PhastService(
+        road_ch,
+        config=ServerConfig(
+            batch_max=4, num_workers=2, force_pool=True,
+            heartbeat_interval_ms=50.0, health_poll_ms=50.0,
+        ),
+    )
+    expected = {s: dijkstra(road, s, with_parents=False).dist
+                for s in (0, 7, 21)}
+    with serve_in_thread(service) as handle:
+        with ServerClient(handle.host, handle.port, max_retries=3) as client:
+            for s, ref in expected.items():
+                assert np.array_equal(client.tree(s), ref)
+            health = client.health()
+            assert health["status"] == "ok"
+            assert health["ready"] is True
+            assert health["pool"]["workers_alive"] == 2
+
+            os.kill(service.pool.supervisor.processes()[0].pid,
+                    signal.SIGKILL)
+            # Queries must keep succeeding throughout the respawn
+            # window, bit-identical to the references.
+            deadline = time.monotonic() + 30
+            recovered = False
+            while time.monotonic() < deadline and not recovered:
+                for s, ref in expected.items():
+                    assert np.array_equal(client.tree(s), ref)
+                health = client.health()
+                recovered = (health["pool"]["workers_alive"] == 2
+                             and health["pool"]["restarts"] >= 1)
+            assert recovered, f"no recovery before deadline: {health}"
+
+            metrics = client.metrics()
+            assert metrics["pool"]["restarts"] >= 1
+            assert metrics["pool"]["deaths"] >= 1
+    assert _shm_names() <= before
+
+
+def test_health_op_reports_degraded_capacity():
+    """The health payload tracks admission capacity, not just liveness."""
+    from repro.server.admission import AdmissionController
+
+    ac = AdmissionController(max_pending=8)
+    ac.set_capacity(0.5)
+    snap = ac.snapshot()
+    assert snap["effective_max_pending"] == 4
+    assert snap["capacity"] == 0.5
+
+
+# ---------------------------------------------------------------------------
+# Client transport failures
+
+
+def _listener():
+    srv = socket.socket()
+    srv.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    srv.bind(("127.0.0.1", 0))
+    srv.listen(4)
+    return srv, srv.getsockname()[1]
+
+
+def test_client_read_timeout_names_endpoint():
+    srv, port = _listener()
+    hold = threading.Event()
+
+    def server():
+        conn, _ = srv.accept()
+        conn.recv(4096)          # swallow the request, never answer
+        hold.wait(5)
+        conn.close()
+
+    threading.Thread(target=server, daemon=True).start()
+    try:
+        with ServerClient("127.0.0.1", port, max_retries=0) as client:
+            with pytest.raises(TimeoutError, match=f"127.0.0.1:{port}"):
+                client.call("ping", timeout=0.2)
+            assert client._sock is None  # desynced stream was dropped
+    finally:
+        hold.set()
+        srv.close()
+
+
+def test_client_connection_error_names_endpoint():
+    srv, port = _listener()
+
+    def server():
+        conn, _ = srv.accept()
+        conn.close()             # hang up before answering
+
+    threading.Thread(target=server, daemon=True).start()
+    try:
+        with ServerClient("127.0.0.1", port, max_retries=0) as client:
+            with pytest.raises(ConnectionError, match=f"127.0.0.1:{port}"):
+                client.call("ping")
+    finally:
+        srv.close()
+
+
+def test_client_retries_transient_then_succeeds():
+    srv, port = _listener()
+
+    def server():
+        conn, _ = srv.accept()
+        conn.close()             # first attempt: server "restarts"
+        conn, _ = srv.accept()   # retry lands on a healthy connection
+        req = protocol.recv_message(conn)
+        protocol.send_message(conn, protocol.ok_response(req["id"], pong=True))
+        conn.close()
+
+    threading.Thread(target=server, daemon=True).start()
+    try:
+        with ServerClient("127.0.0.1", port,
+                          max_retries=2, backoff_s=0.01) as client:
+            assert client.ping() is True
+    finally:
+        srv.close()
+
+
+def test_client_never_retries_server_errors():
+    srv, port = _listener()
+    received = []
+
+    def server():
+        conn, _ = srv.accept()
+        req = protocol.recv_message(conn)
+        received.append(req)
+        protocol.send_message(
+            conn, protocol.error_response(req["id"], 400, "bad request")
+        )
+        conn.settimeout(0.5)     # a retry would arrive here
+        try:
+            more = protocol.recv_message(conn)
+            if more is not None:
+                received.append(more)
+        except (OSError, protocol.ProtocolError):
+            pass
+        conn.close()
+
+    t = threading.Thread(target=server, daemon=True)
+    t.start()
+    try:
+        with ServerClient("127.0.0.1", port,
+                          max_retries=3, backoff_s=0.01) as client:
+            with pytest.raises(ServerError, match=r"\[400\]"):
+                client.call("ping")
+        t.join(5)
+        assert len(received) == 1, "ServerError must not be retried"
+    finally:
+        srv.close()

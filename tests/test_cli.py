@@ -239,3 +239,45 @@ def test_client_connection_refused(capsys):
 
 def test_client_missing_op_args(capsys):
     _fails(["client", "--port", "1", "--op", "query"], capsys)
+
+
+def test_doctor_lists_and_reaps_orphans(capsys):
+    """Orphaned pool segments are reported then reaped; live ones kept."""
+    import json
+    import os
+    import subprocess
+    import sys
+
+    # A verifiably dead pid: a child that has already exited.
+    proc = subprocess.run(
+        [sys.executable, "-c", "import os; print(os.getpid())"],
+        capture_output=True, text=True, check=True,
+    )
+    dead_pid = int(proc.stdout)
+    orphan = f"/dev/shm/repro-{dead_pid}-cafe0001"
+    live = f"/dev/shm/repro-{os.getpid()}-cafe0002"
+    unattributed = "/dev/shm/repro-garbage"
+    try:
+        for path in (orphan, live, unattributed):
+            with open(path, "wb") as fh:
+                fh.write(b"\0" * 16)
+        rc = main(["doctor", "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        by_name = {seg["name"]: seg for seg in report["segments"]}
+        assert by_name[os.path.basename(orphan)]["orphaned"] is True
+        assert by_name[os.path.basename(live)]["orphaned"] is False
+        assert by_name[os.path.basename(unattributed)]["orphaned"] is False
+
+        assert main(["doctor", "--unlink"]) == 0
+        out = capsys.readouterr().out
+        assert "removed" in out
+        assert not os.path.exists(orphan)
+        assert os.path.exists(live)          # owner alive: untouched
+        assert os.path.exists(unattributed)  # unattributable: untouched
+    finally:
+        for path in (orphan, live, unattributed):
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass

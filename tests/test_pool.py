@@ -12,7 +12,9 @@ from repro.sssp import dijkstra
 
 def _shm_names() -> set:
     """Names of live POSIX shared-memory segments (Linux)."""
-    return set(glob.glob("/dev/shm/psm_*"))
+    # Pool segments are named repro-<pid>-<hex>; psm_* covers anything
+    # that fell back to (or predates) the anonymous default naming.
+    return set(glob.glob("/dev/shm/psm_*")) | set(glob.glob("/dev/shm/repro-*"))
 
 
 class MaxLabelReducer(TreeReducer):

@@ -289,11 +289,36 @@ def test_admission_controller_unit():
     assert ac.try_acquire() == AdmissionController.DRAINING
     snap = ac.snapshot()
     assert snap["pending"] == 2
-    assert snap["rejected"] == {"overloaded": 1, "draining": 1}
+    assert snap["rejected"] == {"overloaded": 1, "draining": 1, "degraded": 0}
+    assert snap["capacity"] == 1.0
+    assert snap["effective_max_pending"] == 2
     ac.release()
     ac.release()
     with pytest.raises(RuntimeError):
         ac.release()
+
+
+def test_admission_degraded_mode():
+    """Capacity loss shrinks the effective bound and renames the reason."""
+    ac = AdmissionController(max_pending=4)
+    ac.set_capacity(0.5)
+    assert ac.try_acquire() is None
+    assert ac.try_acquire() is None
+    assert ac.try_acquire() == AdmissionController.DEGRADED
+    snap = ac.snapshot()
+    assert snap["effective_max_pending"] == 2
+    assert snap["capacity"] == 0.5
+    assert snap["rejected"]["degraded"] == 1
+    # Even a dead pool keeps one slot open (work trickles while
+    # workers respawn) and recovery restores the full bound.
+    ac.set_capacity(0.0)
+    assert ac.snapshot()["effective_max_pending"] == 1
+    ac.set_capacity(1.0)
+    assert ac.try_acquire() is None
+    assert ac.try_acquire() is None
+    assert ac.try_acquire() == AdmissionController.OVERLOADED
+    ac.set_capacity(7.0)  # clamped
+    assert ac.capacity == 1.0
 
 
 # ---------------------------------------------------------------------------
