@@ -1034,6 +1034,12 @@ class PhastPool:
         deduplicated by chunk id (first result wins), and reduce-mode
         states merge in chunk order — so results are bit-identical no
         matter how many deaths and re-dispatches occurred.
+
+        A batch that *fails* (quarantine, worker error) does not get
+        to leave quietly: for dist mode,
+        :meth:`_quiesce_stale_writers` first fences every chunk still
+        held by a surviving worker, because those write into the
+        shared output segment the next batch will reuse.
         """
         from multiprocessing import connection as _mpconn
 
@@ -1072,12 +1078,23 @@ class PhastPool:
         try:
             while outstanding:
                 fill()
+                # Wait only on live workers' pipes: a dead
+                # incarnation's result conn sits at EOF — permanently
+                # "ready" — so including it would busy-spin the parent
+                # for as long as the slot stays dead (the whole batch,
+                # once the respawn budget is exhausted).  Dead workers
+                # hand their chunks back through DeathEvents instead.
                 conns = [
-                    ch.result for ch in self._channels if ch is not None
+                    ch.result for ch in self._channels
+                    if ch is not None and ch.alive()
                 ]
-                try:
-                    ready = _mpconn.wait(conns, timeout=poll) if conns else []
-                except OSError:
+                if conns:
+                    try:
+                        ready = _mpconn.wait(conns, timeout=poll)
+                    except OSError:
+                        ready = []
+                else:
+                    time.sleep(poll)  # nothing alive yet: await respawn
                     ready = []
                 for conn in ready:
                     while True:
@@ -1104,6 +1121,20 @@ class PhastPool:
                             if key is not None:
                                 load.get(key, set()).discard(cid)
                 for ev in sup.pop_events():
+                    # Requeue everything the dead incarnation held —
+                    # the claimed chunk plus any stranded in its pipe —
+                    # BEFORE the quarantine check, so a quarantine
+                    # raise leaves ``assigned`` holding only chunks of
+                    # still-live workers for the fence below to wait
+                    # out.  Then drop the dead channel so its EOF pipe
+                    # never re-enters the wait set.
+                    for cid in sorted(load.pop((ev.slot, ev.incarnation),
+                                               set())):
+                        assigned.pop(cid, None)
+                        if cid in outstanding:
+                            self.chunk_retries += 1
+                            pending.append(cid)
+                    self._retire_channel(ev.slot, ev.incarnation)
                     if (ev.batch_id == batch["id"]
                             and ev.chunk_id is not None
                             and ev.chunk_id in outstanding):
@@ -1115,14 +1146,6 @@ class PhastPool:
                                 cid, outstanding[cid][1], deaths[cid],
                                 ev.reason,
                             )
-                    # Requeue everything the dead incarnation held: the
-                    # claimed chunk plus any stranded in its pipe.
-                    for cid in sorted(load.pop((ev.slot, ev.incarnation),
-                                               set())):
-                        assigned.pop(cid, None)
-                        if cid in outstanding:
-                            self.chunk_retries += 1
-                            pending.append(cid)
                 if outstanding and not sup.healthy():
                     detail = ""
                     if self._last_boot_error:
@@ -1132,9 +1155,101 @@ class PhastPool:
                         f"all {self.num_workers} pool workers are gone and "
                         f"the respawn budget is exhausted{detail}"
                     )
+        except Exception:
+            # A failed dist batch abandons chunks that surviving
+            # workers are still executing (in flight or prefetched in
+            # their pipes) — and those scatter rows straight into the
+            # shared output segment the NEXT batch will reuse.  Fence
+            # them out before propagating so no stale writer can
+            # corrupt a later call's results.
+            if batch["mode"] == "dist":
+                self._quiesce_stale_writers(batch, assigned, load, poll)
+            raise
         finally:
             self._inflight = 0
         return [payloads[cid] for cid in sorted(payloads)]
+
+    def _retire_channel(self, slot: int, incarnation: int) -> None:
+        """Drop a dead incarnation's channel (close fds, free the slot).
+
+        Serialised against the supervisor's spawn path: a death's
+        respawn runs before its event becomes visible, but a later
+        scan-pass retry of an empty slot could install a fresh channel
+        concurrently, and an unsynchronised ``None`` store here would
+        clobber it (leaving a live worker no one can reach).
+        """
+        sup = self._supervisor
+        with sup.lock:
+            ch = self._channels[slot]
+            if ch is None or ch.incarnation != incarnation:
+                return  # already replaced by a respawn
+            self._channels[slot] = None
+        ch.close()
+
+    def _quiesce_stale_writers(self, batch: dict, assigned: dict,
+                               load: dict, poll: float) -> None:
+        """Wait out every handed-out chunk of a failed dist batch.
+
+        A chunk is guaranteed write-free once its result message
+        arrived (workers send after the scatter completes) or its
+        holder died (a dead process cannot write), so this drains
+        result pipes — discarding payloads — and consumes death
+        events until ``assigned`` is empty.  With ``chunk_timeout``
+        set, the supervisor bounds every straggler; without it, a
+        writer that outlives the grace period forces the output
+        segment to be retired instead, so stale scatters land in the
+        orphaned mapping rather than the buffer the next
+        :meth:`alloc_output` hands back.
+        """
+        from multiprocessing import connection as _mpconn
+
+        sup = self._supervisor
+        if self.chunk_timeout is not None:
+            # A worker holds at most 1 + prefetch stale chunks, each
+            # bounded by the deadline plus detection and kill slack.
+            grace = (1 + self._prefetch) * (
+                self.chunk_timeout + 10 * self.heartbeat_interval + 5.0
+            )
+        else:
+            grace = 30.0
+        deadline = time.monotonic() + grace
+        while assigned and time.monotonic() < deadline:
+            for ev in sup.pop_events():
+                for cid in load.pop((ev.slot, ev.incarnation), set()):
+                    assigned.pop(cid, None)
+                self._retire_channel(ev.slot, ev.incarnation)
+            conns = [
+                ch.result for ch in self._channels
+                if ch is not None and ch.alive()
+            ]
+            if not conns:
+                time.sleep(poll)
+                continue
+            try:
+                ready = _mpconn.wait(conns, timeout=poll)
+            except OSError:
+                ready = []
+            for conn in ready:
+                while True:
+                    try:
+                        if not conn.poll(0):
+                            break
+                        msg = conn.recv()
+                    except (EOFError, OSError):
+                        break  # death; its DeathEvent resolves the load
+                    batch_id, cid, _slot, status, _payload = msg
+                    if batch_id != batch["id"]:
+                        continue
+                    key = assigned.pop(cid, None)
+                    if key is not None:
+                        load.get(key, set()).discard(cid)
+        if assigned and self._out_shm is not None:
+            # Stale writers survived the grace period (wedged worker,
+            # no chunk deadline configured): abandon the live output
+            # segment so they can never touch a future batch's rows.
+            self._retire(self._out_shm)
+            self._out_shm = None
+            self._out_rows = 0
 
     # -- health ------------------------------------------------------------
 

@@ -362,6 +362,14 @@ class WorkerSupervisor:
         for slot in range(self.num_slots):
             handle = self._workers[slot]
             if handle is None:
+                # A previous respawn attempt failed at spawn time and
+                # left the slot empty.  Retry every scan pass while the
+                # budget lasts: a transient fork failure (EAGAIN under
+                # memory pressure) heals, and a persistent one drains
+                # the budget so ``healthy()`` goes false and the batch
+                # loop raises PoolBroken instead of waiting forever on
+                # a slot nothing will ever fill.
+                self._respawn_locked(slot)
                 continue
             process = handle.process
             code = process.exitcode
@@ -432,6 +440,16 @@ class WorkerSupervisor:
         self.restarts += 1
 
     # -- pool-facing queries -----------------------------------------------
+
+    @property
+    def lock(self) -> threading.Lock:
+        """Serialises slot mutation (spawn/respawn run under it).
+
+        The pool takes it when retiring a dead incarnation's channel
+        so a concurrent scan-pass respawn can't have its freshly
+        installed channel clobbered.
+        """
+        return self._lock
 
     def pop_events(self) -> list[DeathEvent]:
         """Drain the pending death events (consumed by the batch loop)."""

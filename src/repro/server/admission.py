@@ -90,8 +90,13 @@ class AdmissionController:
                 return self.DRAINING
             limit = self._effective_locked()
             if self._pending >= limit:
-                reason = (self.DEGRADED if limit < self.max_pending
-                          else self.OVERLOADED)
+                # DEGRADED is reserved for rejections that exist only
+                # because the bound was scaled down; an instance whose
+                # backlog fills the full nominal bound is OVERLOADED
+                # no matter how much capacity it has lost, so the two
+                # counters operators alert on stay distinguishable.
+                reason = (self.OVERLOADED if self._pending >= self.max_pending
+                          else self.DEGRADED)
                 self.rejected[reason] += 1
                 return reason
             self._pending += 1

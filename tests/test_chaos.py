@@ -156,7 +156,7 @@ def test_hang_fault_reclaimed_by_chunk_deadline(road_ch, reference):
     assert _shm_names() <= before
 
 
-def test_poison_chunk_quarantined_then_pool_usable(road_ch, reference):
+def test_poison_chunk_quarantined_then_pool_usable(road, road_ch, reference):
     """A chunk that kills two workers fails structurally, not fatally."""
     sources, ref = reference
     before = _shm_names()
@@ -172,10 +172,134 @@ def test_poison_chunk_quarantined_then_pool_usable(road_ch, reference):
         assert exc.sources == [sources[2]]
         assert exc.deaths == 2
         assert pool.health()["chunks_quarantined"] == 1
-        # The fault budget is spent: the next batch must run clean on
-        # the rebuilt worker set.
+        # The fault budget is spent AND the failed batch's stale
+        # writers are fenced, so the next batch must be exact over
+        # *different* sources — these reuse the same output rows, and
+        # a chunk of the failed batch still executing in a survivor
+        # would overwrite them with the old batch's values.  (Reusing
+        # identical sources would mask exactly that race: a stale
+        # writer scatters the same bits the new batch expects.)
+        sources2 = [s + 1 for s in sources]
+        ref2 = np.stack(
+            [dijkstra(road, s, with_parents=False).dist for s in sources2]
+        )
+        assert np.array_equal(pool.trees(sources2), ref2)
+        # The rebuilt worker set also replays the original batch clean.
         assert np.array_equal(pool.trees(sources), ref)
     assert _shm_names() <= before
+
+
+def test_degraded_pool_serves_without_respawn(road_ch, reference):
+    """With the respawn budget at zero, survivors absorb a death.
+
+    Also guards the wait-set hygiene: the dead incarnation's channel
+    must be retired (its EOF'd result pipe is permanently "ready", so
+    leaving it in the wait set would busy-spin the parent for the
+    rest of the pool's degraded life).
+    """
+    sources, ref = reference
+    before = _shm_names()
+    with PhastPool(
+        road_ch, num_workers=2, force_pool=True,
+        max_respawns=0,
+        fault_plan="crash:chunk=1",
+    ) as pool:
+        assert np.array_equal(pool.trees(sources), ref)
+        health = pool.health()
+        assert health["deaths"] == 1
+        assert health["restarts"] == 0
+        assert health["workers_alive"] == 1
+        assert any(ch is None for ch in pool._channels)
+        # The degraded pool keeps serving exact results.
+        assert np.array_equal(pool.trees(sources), ref)
+    assert _shm_names() <= before
+
+
+class _FakeProc:
+    """Stands in for a worker Process under supervisor unit tests."""
+
+    def __init__(self) -> None:
+        self.exitcode = None
+
+    def kill(self) -> None:
+        self.exitcode = -9
+
+    def join(self, timeout=None) -> None:
+        pass
+
+
+def _wait_until(cond, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if cond():
+            return True
+        time.sleep(0.01)
+    return cond()
+
+
+def test_supervisor_retries_empty_slot_after_transient_spawn_failure():
+    """A fork failure leaves the slot empty; later scans refill it."""
+    import multiprocessing as mp
+
+    from repro.core import WorkerSupervisor
+
+    ctx = mp.get_context("fork")
+    sup = WorkerSupervisor(ctx, 1, heartbeat_interval=0.02, max_respawns=4)
+    spawned: list[_FakeProc] = []
+    fail_once = [True]
+
+    def spawn(slot, incarnation):
+        if incarnation >= 1 and fail_once:
+            fail_once.pop()
+            raise OSError("fork: EAGAIN")
+        proc = _FakeProc()
+        spawned.append(proc)
+        return proc
+
+    sup.start(spawn)
+    try:
+        spawned[0].exitcode = 1  # the boot worker "dies"
+        assert _wait_until(lambda: sup.stats()["restarts"] == 1)
+        assert sup.alive_count() == 1
+        # Both the failed and the successful attempt spent budget.
+        assert sup.respawn_budget == 2
+        assert sup.stats()["spawn_failures"] == 1
+        assert sup.healthy()
+    finally:
+        sup.stop()
+
+
+def test_supervisor_persistent_spawn_failure_drains_budget():
+    """Spawn failures must not wedge the pool in a can-respawn limbo.
+
+    If the empty slot were never retried, ``healthy()`` would stay
+    true forever (budget > 0, alive == 0) and a batch with
+    outstanding chunks would loop instead of raising PoolBroken.
+    """
+    import multiprocessing as mp
+
+    from repro.core import WorkerSupervisor
+
+    ctx = mp.get_context("fork")
+    sup = WorkerSupervisor(ctx, 1, heartbeat_interval=0.02, max_respawns=3)
+    attempts = []
+
+    def spawn(slot, incarnation):
+        if incarnation >= 1:  # every respawn fails
+            attempts.append(incarnation)
+            raise OSError("fork: EAGAIN")
+        return _FakeProc()
+
+    sup.start(spawn)
+    try:
+        sup.processes()[0].exitcode = 1
+        assert _wait_until(lambda: not sup.healthy())
+        assert sup.respawn_budget == 0
+        assert len(attempts) == 3  # every budget unit was retried
+        assert sup.alive_count() == 0
+        assert not sup.can_respawn()
+    finally:
+        sup.stop()
 
 
 def test_capacity_fraction_tracks_lifecycle(road_ch):

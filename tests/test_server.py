@@ -298,6 +298,26 @@ def test_admission_controller_unit():
         ac.release()
 
 
+def test_admission_saturated_while_degraded_reports_overloaded():
+    """A full nominal bound is OVERLOADED even with capacity lost.
+
+    DEGRADED is reserved for rejections that exist only because the
+    bound was scaled down; conflating the two would make a saturated
+    instance that lost one worker report every rejection as
+    "degraded" and skew the counters operators alert on.
+    """
+    ac = AdmissionController(max_pending=2)
+    assert ac.try_acquire() is None
+    assert ac.try_acquire() is None           # pending == max_pending
+    ac.set_capacity(0.5)                      # effective bound: 1
+    assert ac.try_acquire() == AdmissionController.OVERLOADED
+    ac.release()                              # pending == effective bound
+    assert ac.try_acquire() == AdmissionController.DEGRADED
+    snap = ac.snapshot()
+    assert snap["rejected"]["overloaded"] == 1
+    assert snap["rejected"]["degraded"] == 1
+
+
 def test_admission_degraded_mode():
     """Capacity loss shrinks the effective bound and renames the reason."""
     ac = AdmissionController(max_pending=4)
