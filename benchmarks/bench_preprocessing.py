@@ -17,8 +17,18 @@ this file.  The sequential engine is skipped beyond
 the gap this bench exists to document); the skip is recorded in the
 JSON rather than silently dropped.
 
+A second section sweeps the batched engine over :class:`TaskPool`
+worker counts (1/2/4/8 by default) on the smallest instance and
+reports the speedup over the single-process run plus the shortcut
+count per worker count — the counts must be identical, since the
+parallel engine is bit-deterministic in the worker count.  Worker
+counts above one are *forced* (``force_pool=True``), so on a 1-CPU
+host the sweep still exercises real worker processes; the host CPU
+count is recorded so flat speedups there read as honest, not broken.
+
 ``REPRO_BENCH_PREP_SIZES`` overrides the vertex-count list (comma
-separated), e.g. ``REPRO_BENCH_PREP_SIZES=4000`` for a CI smoke run.
+separated), e.g. ``REPRO_BENCH_PREP_SIZES=4000`` for a CI smoke run;
+``REPRO_BENCH_PREP_WORKERS`` overrides the worker sweep the same way.
 """
 
 from __future__ import annotations
@@ -30,12 +40,15 @@ import time
 from pathlib import Path
 
 from common import fmt, print_table
-from repro.ch import CHParams, contract_graph
+from repro.ch import CHParams, contract_graph, contract_graph_batched
 from repro.graph import europe_like
 from repro.utils import bulk_compute
 
 #: Target vertex counts; europe_like(scale) has scale² vertices.
 DEFAULT_SIZES = (4_000, 20_000, 100_000)
+
+#: Worker counts for the parallel-preprocessing sweep.
+DEFAULT_WORKER_SWEEP = (1, 2, 4, 8)
 
 #: Largest instance the lazy sequential contractor is asked to run.
 SEQUENTIAL_LIMIT = 25_000
@@ -47,6 +60,13 @@ def _sizes() -> tuple[int, ...]:
     env = os.environ.get("REPRO_BENCH_PREP_SIZES")
     if not env:
         return DEFAULT_SIZES
+    return tuple(int(x) for x in env.split(",") if x.strip())
+
+
+def _worker_sweep() -> tuple[int, ...]:
+    env = os.environ.get("REPRO_BENCH_PREP_WORKERS")
+    if not env:
+        return DEFAULT_WORKER_SWEEP
     return tuple(int(x) for x in env.split(",") if x.strip())
 
 
@@ -75,6 +95,56 @@ def _measure(graph, strategy: str) -> dict:
     return entry
 
 
+def _measure_workers(graph, workers: int) -> dict:
+    params = CHParams(strategy="batched")
+    start = time.perf_counter()
+    with bulk_compute():
+        ch = contract_graph_batched(
+            graph, params, num_workers=workers, force_pool=workers > 1
+        )
+    seconds = time.perf_counter() - start
+    stats = ch.preprocessing_stats
+    return {
+        "workers": workers,
+        "parallel": bool(stats["parallel"]),
+        "seconds": round(seconds, 3),
+        "shortcuts": int(ch.num_shortcuts),
+        "witness_searches": int(stats.get("witness_searches", 0)),
+        "publish_seconds": round(float(stats.get("publish_seconds", 0.0)), 3),
+    }
+
+
+def _sweep_workers(graph, record: dict, quiet: bool) -> None:
+    entries = [_measure_workers(graph, w) for w in _worker_sweep()]
+    baseline = entries[0]["seconds"]
+    rows = []
+    for e in entries:
+        e["speedup"] = (
+            round(baseline / e["seconds"], 2) if e["seconds"] else None
+        )
+        rows.append([
+            e["workers"],
+            f"{fmt(e['seconds'])}s",
+            f"{fmt(e['speedup'])}x",
+            e["shortcuts"],
+            f"{fmt(e['publish_seconds'])}s",
+        ])
+    counts = {e["shortcuts"] for e in entries}
+    if len(counts) != 1:
+        record["notes"].append(
+            f"DETERMINISM VIOLATION: shortcut counts differ across "
+            f"worker counts: {sorted(counts)}"
+        )
+    record["worker_sweep"] = {"n": int(graph.n), "entries": entries}
+    if not quiet:
+        print_table(
+            f"Parallel preprocessing: TaskPool worker sweep "
+            f"(n={graph.n}, {os.cpu_count()} host CPUs, forced pool)",
+            ["workers", "seconds", "speedup", "shortcuts", "publish"],
+            rows,
+        )
+
+
 def run(quiet: bool = False) -> dict:
     record: dict = {
         "bench": "preprocessing",
@@ -85,9 +155,12 @@ def run(quiet: bool = False) -> dict:
         "notes": [],
     }
     rows = []
+    sweep_graph = None  # smallest instance; reused for the worker sweep
     for target in _sizes():
         scale = max(2, round(math.sqrt(target)))
         graph = europe_like(scale=scale, metric="time", seed=0)
+        if sweep_graph is None or graph.n < sweep_graph.n:
+            sweep_graph = graph
         batched = _measure(graph, "batched")
         record["entries"].append(batched)
         if graph.n <= SEQUENTIAL_LIMIT:
@@ -126,6 +199,9 @@ def run(quiet: bool = False) -> dict:
             ],
             rows,
         )
+    if sweep_graph is not None:
+        _sweep_workers(sweep_graph, record, quiet)
+    if not quiet:
         for note in record["notes"]:
             print(f"note: {note}")
     with open(OUTPUT, "w") as f:

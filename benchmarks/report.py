@@ -23,6 +23,7 @@ import bench_ch_query
 import bench_fig1_levels
 import bench_highway_dimension
 import bench_lower_bound
+import bench_preprocessing
 import bench_rphast
 import bench_server
 import bench_table1_single_tree
@@ -49,6 +50,7 @@ EXPERIMENTS = {
     "rphast": bench_rphast.run,
     "batch_queries": bench_batch_queries.run,
     "highway_dimension": bench_highway_dimension.run,
+    "preprocessing": bench_preprocessing.run,
     "server": bench_server.run,
 }
 

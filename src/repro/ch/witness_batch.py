@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["BatchWitnessResult", "batched_witness_search"]
+__all__ = ["BatchWitnessResult", "batched_witness_search", "witness_shard"]
 
 #: Hard ceiling on relaxation hops when the schedule says "unlimited".
 #: Budget pruning makes deep searches rare; the cap only guards against
@@ -177,3 +177,43 @@ def batched_witness_search(
     return BatchWitnessResult(
         n, best_keys, best_dists, hops_run, int(best_keys.size)
     )
+
+
+def witness_shard(
+    adjacency,
+    sources: np.ndarray,
+    budgets: np.ndarray,
+    query_instances: np.ndarray,
+    query_vertices: np.ndarray,
+    *,
+    excluded_vertex: np.ndarray | None = None,
+    excluded_mask: np.ndarray | None = None,
+    hop_limit: int | None,
+    label_cap: int | None = None,
+) -> tuple[np.ndarray, int]:
+    """One shard of a partitioned witness sweep: run + resolve queries.
+
+    Instances never interact — each key space ``instance * n + vertex``
+    is private to its instance — so splitting a round's instances into
+    shards and running each with its own label map yields exactly the
+    distances the single full-size sweep would, for any partition.
+    This is the unit the parallel preprocessing coordinator ships to
+    :class:`~repro.core.pool.TaskPool` workers: a contiguous instance
+    range (``sources``/``budgets`` pre-sliced, queries renumbered to
+    the shard-local instance ids) against a shared-memory snapshot of
+    the round's graph.
+
+    Returns ``(distances, labels_settled)`` where ``distances[i]`` is
+    the witness distance of ``(query_instances[i],
+    query_vertices[i])`` (-1 = unreached).
+    """
+    result = batched_witness_search(
+        adjacency,
+        sources,
+        budgets,
+        excluded_vertex=excluded_vertex,
+        excluded_mask=excluded_mask,
+        hop_limit=hop_limit,
+        label_cap=label_cap,
+    )
+    return result.lookup(query_instances, query_vertices), result.labels_settled

@@ -78,14 +78,35 @@ def _cmd_preprocess(args: argparse.Namespace) -> int:
     from .ch import CHParams, contract_graph
     from .graph import save_hierarchy
 
+    workers = args.preprocess_workers
+    force_pool = getattr(args, "force_pool", False)
+    if args.strategy != "batched" and (workers is not None or force_pool):
+        print("--preprocess-workers/--force-pool require --strategy batched")
+        return 2
     graph = _load_graph(args.graph)
     start = time.perf_counter()
-    ch = contract_graph(graph, CHParams(strategy=args.strategy))
+    if args.strategy == "batched" and (workers is not None or force_pool):
+        from .ch import contract_graph_batched
+
+        ch = contract_graph_batched(
+            graph,
+            CHParams(strategy="batched"),
+            num_workers=workers,
+            force_pool=force_pool,
+        )
+    else:
+        ch = contract_graph(graph, CHParams(strategy=args.strategy))
     elapsed = time.perf_counter() - start
     save_hierarchy(ch, args.output)
+    stats = ch.preprocessing_stats
+    detail = args.strategy
+    if stats.get("parallel"):
+        detail += f", {stats['workers']} workers"
+    elif stats.get("fell_back"):
+        detail += ", fell back to serial (1 CPU)"
     print(
         f"{args.output}: {ch.num_shortcuts} shortcuts, "
-        f"{ch.num_levels} levels, {elapsed:.1f}s ({args.strategy})"
+        f"{ch.num_levels} levels, {elapsed:.1f}s ({detail})"
     )
     return 0
 
@@ -493,6 +514,21 @@ def build_parser() -> argparse.ArgumentParser:
         default="batched",
         help="contraction engine: vectorized independent-set rounds "
         "(batched, default) or the one-vertex-at-a-time reference (lazy)",
+    )
+    p.add_argument(
+        "--preprocess-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallelize the batched strategy's witness phases over N "
+        "worker processes (default: single-process; capped by "
+        "REPRO_MAX_WORKERS when omitted — see resolve_workers)",
+    )
+    p.add_argument(
+        "--force-pool",
+        action="store_true",
+        help="spin up preprocessing worker processes even on a "
+        "single-CPU host (testing the multiprocessing path)",
     )
     p.set_defaults(func=_cmd_preprocess)
 

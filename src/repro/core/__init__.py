@@ -9,7 +9,14 @@ from .parallel import (
     trees_per_core,
 )
 from .phast import PhastEngine, phast_scalar
-from .pool import PhastPool, TreeReducer, WorkerContext, install_signal_guard
+from .pool import (
+    PhastPool,
+    TaskContext,
+    TaskPool,
+    TreeReducer,
+    WorkerContext,
+    install_signal_guard,
+)
 from .rphast import RPhastEngine
 from .supervisor import (
     ChunkQuarantined,
@@ -35,6 +42,8 @@ __all__ = [
     "GphastEngine",
     "GphastResult",
     "PhastPool",
+    "TaskPool",
+    "TaskContext",
     "TreeReducer",
     "WorkerContext",
     "install_signal_guard",

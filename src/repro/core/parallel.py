@@ -22,7 +22,6 @@ Two orthogonal strategies, both reproduced here:
 
 from __future__ import annotations
 
-import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
 
@@ -30,6 +29,7 @@ import numpy as np
 
 from ..ch.hierarchy import ContractionHierarchy
 from ..graph.csr import INF
+from ..utils.workers import DEFAULT_WORKER_CAP, resolve_workers
 from .phast import PhastEngine
 
 __all__ = [
@@ -37,42 +37,8 @@ __all__ = [
     "tree_level_parallel",
     "block_boundaries",
     "resolve_workers",
+    "DEFAULT_WORKER_CAP",
 ]
-
-
-#: Default ceiling on implied worker counts; override per call with
-#: ``max_workers`` or globally with the ``REPRO_MAX_WORKERS`` env var.
-DEFAULT_WORKER_CAP = 8
-
-
-def resolve_workers(
-    num_workers: int | None = None, *, max_workers: int | None = None
-) -> tuple[int, bool]:
-    """Effective worker count for the batch drivers.
-
-    Returns ``(workers, fell_back)``.  ``fell_back`` is ``True`` when
-    more than one worker was requested (or implied by the default) but
-    the machine has a single CPU, so forking a process pool would only
-    add IPC overhead on top of zero parallel speedup — the driver runs
-    the serial engine instead.  Benchmarks surface the flag so a
-    single-core run is never mistaken for a parallel measurement.
-
-    An explicit ``num_workers`` is honoured as-is.  The *default* count
-    is ``min(cap, cpu_count)`` where the cap is ``max_workers`` if
-    given, else the ``REPRO_MAX_WORKERS`` environment variable, else
-    :data:`DEFAULT_WORKER_CAP` — so many-core hosts are never silently
-    throttled to 8 once either override is set.
-    """
-    cpus = os.cpu_count() or 1
-    if num_workers is None:
-        cap = max_workers
-        if cap is None:
-            env = os.environ.get("REPRO_MAX_WORKERS", "").strip()
-            cap = int(env) if env else DEFAULT_WORKER_CAP
-        num_workers = min(max(1, cap), cpus)
-    if num_workers > 1 and cpus <= 1:
-        return 1, True
-    return max(1, num_workers), False
 
 def trees_per_core(
     ch: ContractionHierarchy,

@@ -82,6 +82,8 @@ from .sweep import SweepStructure
 
 __all__ = [
     "PhastPool",
+    "TaskPool",
+    "TaskContext",
     "TreeReducer",
     "WorkerContext",
     "install_signal_guard",
@@ -101,7 +103,7 @@ __all__ = [
 # exits (including unhandled exceptions), and :func:`install_signal_guard`
 # covers hard interrupts for long-lived processes such as ``repro serve``.
 
-_LIVE_POOLS: "weakref.WeakSet[PhastPool]" = weakref.WeakSet()
+_LIVE_POOLS: "weakref.WeakSet[_BasePool]" = weakref.WeakSet()
 _GUARDED_SIGNALS: dict = {}
 
 
@@ -320,6 +322,68 @@ def _views(shm: shared_memory.SharedMemory, specs: Sequence[_ArraySpec]) -> dict
     }
 
 
+class TaskContext:
+    """What a task-mode worker holds between chunks (see :class:`TaskPool`).
+
+    Attributes
+    ----------
+    boot:
+        Zero-copy views of the arrays published at pool construction.
+    state:
+        Scratch dict that persists for the worker process's lifetime.
+        Handlers memoize expensive derived state here (e.g. the
+        preprocessing workers' replica adjacency), keyed by the
+        segment names it was built from, so a re-publication
+        invalidates it naturally.
+    """
+
+    def __init__(
+        self,
+        boot_views: Mapping[str, np.ndarray],
+        local_segments: dict | None = None,
+    ) -> None:
+        self.boot = dict(boot_views)
+        self.state: dict = {}
+        self._attached: dict[str, tuple] = {}
+        self._local = local_segments
+
+    def attach(self, name: str, specs) -> Mapping[str, np.ndarray]:
+        """Views of a :meth:`TaskPool.publish_arrays` segment, cached by name.
+
+        On the serial path (``specs is None``) the "segment" is the
+        parent's in-process array dict, returned as-is.
+        """
+        if self._local is not None and name in self._local:
+            return self._local[name]
+        entry = self._attached.get(name)
+        if entry is None:
+            shm = _attach(name)
+            entry = (shm, _views(shm, specs))
+            self._attached[name] = entry
+        return entry[1]
+
+    def release(self, keep: Sequence[str] = ()) -> None:
+        """Close attached segments whose names are not in ``keep``.
+
+        Callers must drop their own views (including anything in
+        :attr:`state` built over them) first; a still-exported buffer
+        keeps the mapping open until the worker exits — harmless once
+        the parent unlinked the name, but it holds memory.
+        """
+        keep_set = set(keep)
+        for name in [n for n in self._attached if n not in keep_set]:
+            shm, views = self._attached.pop(name)
+            views.clear()
+            try:
+                shm.close()
+            except BufferError:
+                pass
+
+    def close(self) -> None:
+        self.state.clear()
+        self.release()
+
+
 class _WorkerHierarchy:
     """The slice of a hierarchy a pooled engine needs (``n`` + ``G↑``).
 
@@ -402,6 +466,12 @@ def _run_chunk(engine: PhastEngine, ctx: WorkerContext, k: int, batch: dict,
     which worker ran which chunk or how often one was re-dispatched).
     """
     mode = batch["mode"]
+    if mode == "task":
+        fn = batch["fn"]
+        common = batch["common"]
+        return {
+            start + j: fn(ctx, common, item) for j, item in enumerate(chunk)
+        }
     reducer: TreeReducer | None = batch.get("reducer")
     fn: Callable | None = batch.get("fn")
     state = reducer.make_state(ctx) if mode == "reduce" else None
@@ -479,7 +549,11 @@ def _pool_worker(slot, incarnation, shm_name, specs, meta, work_conn,
     out_name: str | None = None
     try:
         shm = _attach(shm_name)
-        engine, ctx = _build_worker_state(_views(shm, specs), meta)
+        views = _views(shm, specs)
+        if meta.get("kind") == "task":
+            engine, ctx = None, TaskContext(views)
+        else:
+            engine, ctx = _build_worker_state(views, meta)
     except BaseException:
         try:
             result_conn.send((None, None, slot, "boot_error",
@@ -534,6 +608,11 @@ def _pool_worker(slot, incarnation, shm_name, specs, meta, work_conn,
     finally:
         beat_stop.set()
         try:
+            if isinstance(ctx, TaskContext):
+                ctx.close()
+        except Exception:
+            pass
+        try:
             if out_shm is not None:
                 out_shm.close()
         except BufferError:
@@ -571,100 +650,40 @@ class _Channel:
                 pass
 
 
-class PhastPool:
-    """Persistent worker pool computing shortest path trees in batches.
+class _BasePool:
+    """Worker-pool machinery shared by the pool flavours.
 
-    Parameters
-    ----------
-    ch:
-        The shared hierarchy.  Its sweep structure is built once in the
-        parent and published to every worker.
-    num_workers:
-        Worker processes (default: CPU count capped by
-        :func:`~repro.core.parallel.resolve_workers`).  ``1`` (or the
-        single-CPU fallback) runs everything in-process with no shared
-        memory at all — same results, no IPC.
-    sources_per_sweep:
-        The ``k`` of Section IV-B applied inside each worker.
-    context:
-        ``"fork"`` (default) or ``"spawn"``; shared-memory attach works
-        under both, so spawn-only platforms are first-class.
-    force_pool:
-        Spin up worker processes even on a single-CPU host (the
-        multiprocessing path stays testable everywhere).
-    graphs:
-        Named CSR graphs to publish for reducers (e.g. the original
-        graph for arc flags / reach, the reverse graph for
-        betweenness).  Zero-copy views inside workers.
-    arrays:
-        Named auxiliary NumPy arrays to publish (e.g. a partition's
-        cell assignment).
-    reorder:
-        Passed through to every worker's engine.
-    search_cache:
-        Capacity of each engine's LRU cache of upward CH search
-        spaces (0 disables, the default).  Worth enabling for serving
-        workloads where sources repeat — the per-source scalar search
-        is then paid once per distinct origin.
-    chunk_size:
-        Sources per work-queue chunk; default balances ~4 chunks per
-        worker, rounded to a multiple of ``sources_per_sweep``.
-    heartbeat_interval:
-        Supervisor scan period in seconds.  Worker deaths are detected
-        within roughly one interval; workers beat at twice this rate.
-    chunk_timeout:
-        Per-chunk wall-clock deadline in seconds (``None`` disables).
-        A worker whose chunk exceeds it is considered wedged, killed,
-        and replaced; the chunk is re-dispatched.  Size it well above
-        the slowest legitimate chunk.
-    max_chunk_retries:
-        Worker deaths a single chunk may cause before it is
-        quarantined with :class:`ChunkQuarantined` (default 2: a chunk
-        that kills two workers is poison, not bad luck).
-    max_respawns:
-        Total replacement workers over the pool's lifetime (default
-        ``3 * num_workers``).  When exhausted with no survivors,
-        batches fail with :class:`PoolBroken`.
-    fault_plan:
-        Deterministic fault injection for chaos testing: a
-        :class:`FaultPlan`, a spec string (``"crash:chunk=2"``), or
-        ``None`` to read the ``REPRO_FAULT`` environment variable.
-        Only worker processes fault; the serial path ignores plans.
+    Owns everything that is independent of *what* the workers compute:
+    shared-memory publication (boot segment plus retireable
+    :meth:`publish_arrays` segments), per-worker simplex pipe pairs,
+    the :class:`~repro.core.supervisor.WorkerSupervisor` (heartbeats,
+    chunk deadlines, respawn, quarantine), supervised dispatch with
+    deterministic re-dispatch of a dead worker's chunks, and teardown
+    that can never leak ``/dev/shm`` segments.
+
+    Subclasses supply the boot payload (:meth:`_published_arrays`),
+    the worker-side interpretation (:meth:`_worker_meta`, keyed by
+    ``meta["kind"]``) and the in-process fallback
+    (:meth:`_execute_serial`).
     """
 
-    def __init__(
+    def _init_base(
         self,
-        ch: ContractionHierarchy,
         *,
-        num_workers: int | None = None,
+        num_workers: int | None,
+        force_pool: bool,
+        chunk_size: int | None,
+        heartbeat_interval: float,
+        chunk_timeout: float | None,
+        max_chunk_retries: int,
+        max_respawns: int | None,
+        fault_plan: FaultPlan | str | None,
         sources_per_sweep: int = 1,
-        context: str = "fork",
-        force_pool: bool = False,
-        graphs: Mapping[str, StaticGraph] | None = None,
-        arrays: Mapping[str, np.ndarray] | None = None,
-        reorder: bool = True,
-        chunk_size: int | None = None,
-        search_cache: int = 0,
-        heartbeat_interval: float = 0.2,
-        chunk_timeout: float | None = None,
-        max_chunk_retries: int = 2,
-        max_respawns: int | None = None,
-        fault_plan: FaultPlan | str | None = None,
     ) -> None:
-        if sources_per_sweep < 1:
-            raise ValueError("sources_per_sweep must be >= 1")
         if max_chunk_retries < 1:
             raise ValueError("max_chunk_retries must be >= 1")
-        self.ch = ch
-        self.n = ch.n
         self.k = int(sources_per_sweep)
-        self.reorder = bool(reorder)
         self.chunk_size = chunk_size
-        self.search_cache = int(search_cache)
-        self._graphs = dict(graphs or {})
-        self._arrays = {
-            name: np.ascontiguousarray(a) for name, a in (arrays or {}).items()
-        }
         self.batches_run = 0
         self.trees_computed = 0
         self.chunk_retries = 0
@@ -699,19 +718,65 @@ class PhastPool:
         self.num_workers = num_workers
         self._serial = num_workers <= 1 and not force_pool
 
-        # Parent-side engine: the serial path runs on it, and the
-        # process path publishes its sweep arrays (built exactly once).
-        self._engine = PhastEngine(
-            ch, reorder=self.reorder, search_cache=self.search_cache
-        )
-
         self._shm: shared_memory.SharedMemory | None = None
         self._out_shm: shared_memory.SharedMemory | None = None
         self._retired: list[shared_memory.SharedMemory] = []
         self._out_rows = 0
-        if not self._serial:
-            self._start_workers(context)
-        _LIVE_POOLS.add(self)
+        #: Dynamically published segments, by name (publish_arrays).
+        self._dynamic: dict[str, shared_memory.SharedMemory] = {}
+        #: Serial-path stand-in for dynamic segments: name -> array dict.
+        self._local_segments: dict[str, dict[str, np.ndarray]] = {}
+        self._local_counter = 0
+
+    # -- subclass hooks ----------------------------------------------------
+
+    def _published_arrays(self) -> dict[str, np.ndarray]:
+        """Arrays to copy into the boot segment workers attach to."""
+        raise NotImplementedError
+
+    def _worker_meta(self) -> dict:
+        """Picklable worker boot metadata; must carry ``kind``/``k``/``n``."""
+        raise NotImplementedError
+
+    def _execute_serial(self, batch: dict, items: list, out=None):
+        raise NotImplementedError
+
+    # -- dynamic publications ----------------------------------------------
+
+    def publish_arrays(
+        self, arrays: Mapping[str, np.ndarray]
+    ) -> tuple[str, list[_ArraySpec] | None]:
+        """Publish named arrays as a fresh, individually retireable segment.
+
+        Returns a ``(name, specs)`` handle that travels to task
+        handlers (inside ``common``/items) so they can attach by name
+        via :meth:`TaskContext.attach`.  On the serial path the arrays
+        are kept in-process under a synthetic name — same handle
+        shape, no shared memory, ``specs`` is ``None``.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if self._serial:
+            self._local_counter += 1
+            name = f"local-{self._local_counter}"
+            # Copy like the shm path does: a publication is a snapshot,
+            # and callers mutate their arrays after publishing.
+            self._local_segments[name] = {
+                k: np.array(a, order="C") for k, a in arrays.items()
+            }
+            return name, None
+        shm, specs = _publish(dict(arrays))
+        self._dynamic[shm.name] = shm
+        return shm.name, specs
+
+    def retire_publication(self, name: str) -> None:
+        """Unlink a :meth:`publish_arrays` segment (live views stay valid)."""
+        if self._serial:
+            self._local_segments.pop(name, None)
+            return
+        shm = self._dynamic.pop(name, None)
+        if shm is not None:
+            self._retire(shm)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -720,28 +785,9 @@ class PhastPool:
 
         ctx = mp.get_context(context)
         self._channels = [None] * self.num_workers
-        published: dict[str, np.ndarray] = {}
-        published.update(_sweep_keys(self._engine.sweep))
-        published["up:first"] = self.ch.upward.first
-        published["up:arc_head"] = self.ch.upward.arc_head
-        published["up:arc_len"] = self.ch.upward.arc_len
-        for name, g in self._graphs.items():
-            published[f"g:{name}:first"] = g.first
-            published[f"g:{name}:arc_head"] = g.arc_head
-            published[f"g:{name}:arc_len"] = g.arc_len
-        for name, a in self._arrays.items():
-            published[f"a:{name}"] = a
-        self._shm, specs = _publish(published)
-        meta = {
-            "n": self.n,
-            "num_levels": self._engine.sweep.num_levels,
-            "reorder": self.reorder,
-            "k": self.k,
-            "search_cache": self.search_cache,
-            "graphs": list(self._graphs),
-            "arrays": list(self._arrays),
-            "hb_interval": self.heartbeat_interval,
-        }
+        self._shm, specs = _publish(self._published_arrays())
+        meta = self._worker_meta()
+        meta["hb_interval"] = self.heartbeat_interval
         if self._fault_plan is not None and self._fault_plan.times is not None:
             # Shared trigger budget: respawned workers see the same
             # counter, so "times=1" means one crash pool-wide, ever.
@@ -847,7 +893,7 @@ class PhastPool:
         self._unlink_segments()
 
     def _unlink_segments(self) -> None:
-        for shm in (self._shm, self._out_shm):
+        for shm in (self._shm, self._out_shm, *self._dynamic.values()):
             if shm is not None:
                 try:
                     shm.unlink()
@@ -859,6 +905,8 @@ class PhastPool:
                     # A caller still holds a view; the name is already
                     # unlinked, the mapping dies with the last view.
                     pass
+        self._dynamic = {}
+        self._local_segments = {}
         for shm in self._retired:
             try:
                 shm.close()
@@ -878,7 +926,7 @@ class PhastPool:
         except BufferError:
             self._retired.append(shm)
 
-    def __enter__(self) -> "PhastPool":
+    def __enter__(self) -> "_BasePool":
         return self
 
     def __exit__(self, *exc) -> None:
@@ -899,95 +947,6 @@ class PhastPool:
     def fell_back(self) -> bool:
         """True when a multi-worker request degraded to serial (1 CPU)."""
         return self._fell_back
-
-    # -- output buffers ----------------------------------------------------
-
-    def alloc_output(self, rows: int) -> np.ndarray:
-        """A ``(rows, n)`` int64 matrix workers can write in place.
-
-        The pool owns one reusable output segment; a second call (or a
-        larger :meth:`trees` batch) may remap it, invalidating earlier
-        views — treat the returned array as valid until the next batch.
-        """
-        if rows < 1:
-            raise ValueError("rows must be >= 1")
-        if self._serial:
-            return np.empty((rows, self.n), dtype=np.int64)
-        nbytes = rows * self.n * 8
-        if self._out_shm is None or self._out_rows < rows:
-            if self._out_shm is not None:
-                self._retire(self._out_shm)
-            self._out_shm = _create_segment(nbytes)
-            self._out_rows = rows
-        full = np.ndarray(
-            (self._out_rows, self.n), dtype=np.int64, buffer=self._out_shm.buf
-        )
-        return full[:rows]
-
-    def _own_output(self, out: np.ndarray, rows: int) -> bool:
-        if self._serial:
-            return True
-        if self._out_shm is None:
-            return False
-        full = np.ndarray(
-            (self._out_rows, self.n), dtype=np.int64, buffer=self._out_shm.buf
-        )
-        return bool(np.shares_memory(out, full))
-
-    # -- execution ---------------------------------------------------------
-
-    def trees(
-        self, sources: Sequence[int], *, out: np.ndarray | None = None
-    ) -> np.ndarray:
-        """All distances for every source, written into shared rows.
-
-        Returns a ``(len(sources), n)`` view (row ``i`` = distances
-        from ``sources[i]``, indexed by original vertex ID).  ``out``
-        may be a matrix from :meth:`alloc_output` to control the
-        buffer's lifetime; by default the pool's internal buffer is
-        (re)used, so copy rows you need to keep across batches.
-        """
-        sources = [int(s) for s in sources]
-        if not sources:
-            return np.empty((0, self.n), dtype=np.int64)
-        rows = len(sources)
-        if out is None:
-            out = self.alloc_output(rows)
-        else:
-            if out.shape != (rows, self.n) or out.dtype != np.int64:
-                raise ValueError(
-                    f"out must be a ({rows}, {self.n}) int64 matrix"
-                )
-            if not self._own_output(out, rows):
-                raise ValueError(
-                    "out must come from this pool's alloc_output() so "
-                    "workers can reach it"
-                )
-        self._execute({"mode": "dist"}, sources, out)
-        return out
-
-    def reduce(self, sources: Sequence[int], reducer: TreeReducer):
-        """Fold every tree through ``reducer`` inside the workers."""
-        sources = [int(s) for s in sources]
-        if not sources:
-            return reducer.merge([])
-        states = self._execute({"mode": "reduce", "reducer": reducer}, sources)
-        return reducer.merge(states)
-
-    def map(self, sources: Sequence[int], fn: Callable[[int, np.ndarray], object]) -> list:
-        """Apply ``fn(source, dist)`` per tree in the workers, in order.
-
-        ``fn`` must be picklable (module-level) when worker processes
-        are active; use :meth:`trees` + a parent-side loop otherwise.
-        """
-        sources = [int(s) for s in sources]
-        if not sources:
-            return []
-        parts = self._execute({"mode": "map", "fn": fn}, sources)
-        merged: dict[int, object] = {}
-        for part in parts:
-            merged.update(part)
-        return [merged[i] for i in range(len(sources))]
 
     # -- internals ---------------------------------------------------------
 
@@ -1293,6 +1252,234 @@ class PhastPool:
         """The worker supervisor (``None`` on the serial path)."""
         return self._supervisor
 
+class PhastPool(_BasePool):
+    """Persistent worker pool computing shortest path trees in batches.
+
+    Parameters
+    ----------
+    ch:
+        The shared hierarchy.  Its sweep structure is built once in the
+        parent and published to every worker.
+    num_workers:
+        Worker processes (default: CPU count capped by
+        :func:`~repro.utils.workers.resolve_workers`).  ``1`` (or the
+        single-CPU fallback) runs everything in-process with no shared
+        memory at all — same results, no IPC.
+    sources_per_sweep:
+        The ``k`` of Section IV-B applied inside each worker.
+    context:
+        ``"fork"`` (default) or ``"spawn"``; shared-memory attach works
+        under both, so spawn-only platforms are first-class.
+    force_pool:
+        Spin up worker processes even on a single-CPU host (the
+        multiprocessing path stays testable everywhere).
+    graphs:
+        Named CSR graphs to publish for reducers (e.g. the original
+        graph for arc flags / reach, the reverse graph for
+        betweenness).  Zero-copy views inside workers.
+    arrays:
+        Named auxiliary NumPy arrays to publish (e.g. a partition's
+        cell assignment).
+    reorder:
+        Passed through to every worker's engine.
+    search_cache:
+        Capacity of each engine's LRU cache of upward CH search
+        spaces (0 disables, the default).  Worth enabling for serving
+        workloads where sources repeat — the per-source scalar search
+        is then paid once per distinct origin.
+    chunk_size:
+        Sources per work-queue chunk; default balances ~4 chunks per
+        worker, rounded to a multiple of ``sources_per_sweep``.
+    heartbeat_interval:
+        Supervisor scan period in seconds.  Worker deaths are detected
+        within roughly one interval; workers beat at twice this rate.
+    chunk_timeout:
+        Per-chunk wall-clock deadline in seconds (``None`` disables).
+        A worker whose chunk exceeds it is considered wedged, killed,
+        and replaced; the chunk is re-dispatched.  Size it well above
+        the slowest legitimate chunk.
+    max_chunk_retries:
+        Worker deaths a single chunk may cause before it is
+        quarantined with :class:`ChunkQuarantined` (default 2: a chunk
+        that kills two workers is poison, not bad luck).
+    max_respawns:
+        Total replacement workers over the pool's lifetime (default
+        ``3 * num_workers``).  When exhausted with no survivors,
+        batches fail with :class:`PoolBroken`.
+    fault_plan:
+        Deterministic fault injection for chaos testing: a
+        :class:`FaultPlan`, a spec string (``"crash:chunk=2"``), or
+        ``None`` to read the ``REPRO_FAULT`` environment variable.
+        Only worker processes fault; the serial path ignores plans.
+    """
+
+    def __init__(
+        self,
+        ch: ContractionHierarchy,
+        *,
+        num_workers: int | None = None,
+        sources_per_sweep: int = 1,
+        context: str = "fork",
+        force_pool: bool = False,
+        graphs: Mapping[str, StaticGraph] | None = None,
+        arrays: Mapping[str, np.ndarray] | None = None,
+        reorder: bool = True,
+        chunk_size: int | None = None,
+        search_cache: int = 0,
+        heartbeat_interval: float = 0.2,
+        chunk_timeout: float | None = None,
+        max_chunk_retries: int = 2,
+        max_respawns: int | None = None,
+        fault_plan: FaultPlan | str | None = None,
+    ) -> None:
+        if sources_per_sweep < 1:
+            raise ValueError("sources_per_sweep must be >= 1")
+        self.ch = ch
+        self.n = ch.n
+        self.reorder = bool(reorder)
+        self.search_cache = int(search_cache)
+        self._graphs = dict(graphs or {})
+        self._arrays = {
+            name: np.ascontiguousarray(a) for name, a in (arrays or {}).items()
+        }
+        self._init_base(
+            num_workers=num_workers,
+            force_pool=force_pool,
+            chunk_size=chunk_size,
+            heartbeat_interval=heartbeat_interval,
+            chunk_timeout=chunk_timeout,
+            max_chunk_retries=max_chunk_retries,
+            max_respawns=max_respawns,
+            fault_plan=fault_plan,
+            sources_per_sweep=sources_per_sweep,
+        )
+
+        # Parent-side engine: the serial path runs on it, and the
+        # process path publishes its sweep arrays (built exactly once).
+        self._engine = PhastEngine(
+            ch, reorder=self.reorder, search_cache=self.search_cache
+        )
+        if not self._serial:
+            self._start_workers(context)
+        _LIVE_POOLS.add(self)
+
+    # -- boot payload ------------------------------------------------------
+
+    def _published_arrays(self) -> dict[str, np.ndarray]:
+        published: dict[str, np.ndarray] = {}
+        published.update(_sweep_keys(self._engine.sweep))
+        published["up:first"] = self.ch.upward.first
+        published["up:arc_head"] = self.ch.upward.arc_head
+        published["up:arc_len"] = self.ch.upward.arc_len
+        for name, g in self._graphs.items():
+            published[f"g:{name}:first"] = g.first
+            published[f"g:{name}:arc_head"] = g.arc_head
+            published[f"g:{name}:arc_len"] = g.arc_len
+        for name, a in self._arrays.items():
+            published[f"a:{name}"] = a
+        return published
+
+    def _worker_meta(self) -> dict:
+        return {
+            "kind": "sweep",
+            "n": self.n,
+            "num_levels": self._engine.sweep.num_levels,
+            "reorder": self.reorder,
+            "k": self.k,
+            "search_cache": self.search_cache,
+            "graphs": list(self._graphs),
+            "arrays": list(self._arrays),
+        }
+
+    # -- output buffers ----------------------------------------------------
+
+    def alloc_output(self, rows: int) -> np.ndarray:
+        """A ``(rows, n)`` int64 matrix workers can write in place.
+
+        The pool owns one reusable output segment; a second call (or a
+        larger :meth:`trees` batch) may remap it, invalidating earlier
+        views — treat the returned array as valid until the next batch.
+        """
+        if rows < 1:
+            raise ValueError("rows must be >= 1")
+        if self._serial:
+            return np.empty((rows, self.n), dtype=np.int64)
+        nbytes = rows * self.n * 8
+        if self._out_shm is None or self._out_rows < rows:
+            if self._out_shm is not None:
+                self._retire(self._out_shm)
+            self._out_shm = _create_segment(nbytes)
+            self._out_rows = rows
+        full = np.ndarray(
+            (self._out_rows, self.n), dtype=np.int64, buffer=self._out_shm.buf
+        )
+        return full[:rows]
+
+    def _own_output(self, out: np.ndarray, rows: int) -> bool:
+        if self._serial:
+            return True
+        if self._out_shm is None:
+            return False
+        full = np.ndarray(
+            (self._out_rows, self.n), dtype=np.int64, buffer=self._out_shm.buf
+        )
+        return bool(np.shares_memory(out, full))
+
+    # -- execution ---------------------------------------------------------
+
+    def trees(
+        self, sources: Sequence[int], *, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """All distances for every source, written into shared rows.
+
+        Returns a ``(len(sources), n)`` view (row ``i`` = distances
+        from ``sources[i]``, indexed by original vertex ID).  ``out``
+        may be a matrix from :meth:`alloc_output` to control the
+        buffer's lifetime; by default the pool's internal buffer is
+        (re)used, so copy rows you need to keep across batches.
+        """
+        sources = [int(s) for s in sources]
+        if not sources:
+            return np.empty((0, self.n), dtype=np.int64)
+        rows = len(sources)
+        if out is None:
+            out = self.alloc_output(rows)
+        else:
+            if out.shape != (rows, self.n) or out.dtype != np.int64:
+                raise ValueError(
+                    f"out must be a ({rows}, {self.n}) int64 matrix"
+                )
+            if not self._own_output(out, rows):
+                raise ValueError(
+                    "out must come from this pool's alloc_output() so "
+                    "workers can reach it"
+                )
+        self._execute({"mode": "dist"}, sources, out)
+        return out
+
+    def reduce(self, sources: Sequence[int], reducer: TreeReducer):
+        """Fold every tree through ``reducer`` inside the workers."""
+        sources = [int(s) for s in sources]
+        if not sources:
+            return reducer.merge([])
+        states = self._execute({"mode": "reduce", "reducer": reducer}, sources)
+        return reducer.merge(states)
+
+    def map(self, sources: Sequence[int], fn: Callable[[int, np.ndarray], object]) -> list:
+        """Apply ``fn(source, dist)`` per tree in the workers, in order.
+
+        ``fn`` must be picklable (module-level) when worker processes
+        are active; use :meth:`trees` + a parent-side loop otherwise.
+        """
+        sources = [int(s) for s in sources]
+        if not sources:
+            return []
+        parts = self._execute({"mode": "map", "fn": fn}, sources)
+        merged: dict[int, object] = {}
+        for part in parts:
+            merged.update(part)
+        return [merged[i] for i in range(len(sources))]
+
     def _execute_serial(self, batch: dict, sources: list[int], out=None):
         ctx = WorkerContext(self.n, {}, self._arrays, graphs=self._graphs)
         engine = self._engine
@@ -1324,6 +1511,101 @@ class PhastPool:
         if mode == "reduce":
             return [reducer.finish(ctx, state)]
         return [results]
+
+
+class TaskPool(_BasePool):
+    """Generic task-mode pool on the :class:`PhastPool` machinery.
+
+    Where a :class:`PhastPool` worker holds a warm sweep engine, a
+    ``TaskPool`` worker holds a :class:`TaskContext` — views of the
+    boot-published arrays plus a scratch ``state`` dict that persists
+    across chunks — and executes an arbitrary module-level handler
+    ``fn(ctx, common, item)`` per submitted item.  Everything else is
+    inherited: shared-memory publication, per-worker simplex pipes,
+    the supervisor (heartbeats, chunk deadlines, respawn, quarantine)
+    and deterministic re-dispatch of a dead worker's chunks.
+
+    Handlers must be pure functions of (published segments, ``common``,
+    item): a re-dispatched chunk re-executes the handler on a
+    survivor, and only determinism makes that invisible to callers.
+    State that evolves between submissions (e.g. the parallel
+    preprocessing coordinator's per-epoch graph snapshots) goes
+    through :meth:`publish_arrays` / :meth:`retire_publication`;
+    handlers attach by name via :meth:`TaskContext.attach`.
+
+    Items are dispatched one per chunk with no prefetch — task items
+    are coarse (a shard of vertices, not a single tree), so spreading
+    them over every live worker matters more than pipelining pipe
+    latency.
+    """
+
+    def __init__(
+        self,
+        *,
+        arrays: Mapping[str, np.ndarray] | None = None,
+        num_workers: int | None = None,
+        context: str = "fork",
+        force_pool: bool = False,
+        chunk_size: int | None = 1,
+        heartbeat_interval: float = 0.2,
+        chunk_timeout: float | None = None,
+        max_chunk_retries: int = 2,
+        max_respawns: int | None = None,
+        fault_plan: FaultPlan | str | None = None,
+    ) -> None:
+        self._boot_arrays = {
+            name: np.ascontiguousarray(a) for name, a in (arrays or {}).items()
+        }
+        self._init_base(
+            num_workers=num_workers,
+            force_pool=force_pool,
+            chunk_size=chunk_size,
+            heartbeat_interval=heartbeat_interval,
+            chunk_timeout=chunk_timeout,
+            max_chunk_retries=max_chunk_retries,
+            max_respawns=max_respawns,
+            fault_plan=fault_plan,
+        )
+        self._prefetch = 0
+        self._serial_ctx: TaskContext | None = None
+        if not self._serial:
+            self._start_workers(context)
+        _LIVE_POOLS.add(self)
+
+    def _published_arrays(self) -> dict[str, np.ndarray]:
+        return dict(self._boot_arrays)
+
+    def _worker_meta(self) -> dict:
+        return {"kind": "task", "k": 1, "n": 0}
+
+    def submit(self, fn: Callable, items: Sequence, common=None) -> list:
+        """Run ``fn(ctx, common, item)`` for every item; results in order.
+
+        ``fn`` and the items must be picklable (module-level function,
+        plain-data items); ``common`` is batch-constant data shipped
+        once per chunk.
+        """
+        items = list(items)
+        if not items:
+            return []
+        parts = self._execute(
+            {"mode": "task", "fn": fn, "common": common}, items
+        )
+        merged: dict[int, object] = {}
+        for part in parts:
+            merged.update(part)
+        return [merged[i] for i in range(len(items))]
+
+    def _execute_serial(self, batch: dict, items: list, out=None):
+        if self._serial_ctx is None:
+            self._serial_ctx = TaskContext(
+                dict(self._boot_arrays), local_segments=self._local_segments
+            )
+        fn, common = batch["fn"], batch["common"]
+        return [
+            {i: fn(self._serial_ctx, common, item)
+             for i, item in enumerate(items)}
+        ]
 
 
 def picklable(obj) -> bool:

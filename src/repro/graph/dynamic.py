@@ -74,6 +74,15 @@ class _Half:
         )
         self._clear_overlay()
 
+    @classmethod
+    def from_csr(cls, n: int, first, heads, lens, hops) -> "_Half":
+        """Wrap already-grouped CSR arrays without copying or sorting."""
+        self = cls.__new__(cls)
+        self.n = n
+        self.first, self.heads, self.lens, self.hops = first, heads, lens, hops
+        self._clear_overlay()
+        return self
+
     def _clear_overlay(self) -> None:
         self.o_first = np.zeros(self.n + 1, dtype=np.int64)
         self.o_heads = np.zeros(0, dtype=np.int64)
@@ -146,6 +155,88 @@ class DynamicAdjacency:
         self._rounds_since_rebuild = 0
         self.rebuilds = 0
         self.rebuild_seconds = 0.0
+        #: Bumped whenever the base CSR changes (i.e. on every rebuild).
+        #: Snapshot consumers republish base arrays only on a new epoch.
+        self.epoch = 0
+
+    # -- snapshots ---------------------------------------------------------
+
+    def base_arrays(self) -> dict[str, np.ndarray]:
+        """The base CSR of both halves as a flat name → array mapping.
+
+        Valid for the current :attr:`epoch` only: a rebuild replaces
+        every array.  Publishing these (e.g. into shared memory) plus
+        :meth:`overlay_arrays` and :attr:`retired` fully describes the
+        live graph to a read-only replica.
+        """
+        return {
+            "fwd:first": self.fwd.first,
+            "fwd:heads": self.fwd.heads,
+            "fwd:lens": self.fwd.lens,
+            "fwd:hops": self.fwd.hops,
+            "bwd:first": self.bwd.first,
+            "bwd:heads": self.bwd.heads,
+            "bwd:lens": self.bwd.lens,
+            "bwd:hops": self.bwd.hops,
+        }
+
+    def overlay_arrays(self) -> dict[str, np.ndarray]:
+        """Arcs inserted since the last rebuild, as COO arrays."""
+        if self._overlay_coo is None:
+            empty = np.zeros(0, dtype=np.int64)
+            return {
+                "ov:tails": empty, "ov:heads": empty,
+                "ov:lens": empty, "ov:hops": empty,
+            }
+        t, h, l, hp = self._overlay_coo
+        return {"ov:tails": t, "ov:heads": h, "ov:lens": l, "ov:hops": hp}
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        n: int,
+        base: "dict[str, np.ndarray]",
+        overlay: "dict[str, np.ndarray]",
+        retired: np.ndarray,
+    ) -> "DynamicAdjacency":
+        """Read-only replica over published snapshot arrays (zero-copy).
+
+        ``base``/``overlay`` use the key naming of :meth:`base_arrays`
+        and :meth:`overlay_arrays`.  Gathers on the replica are
+        bit-identical to the publisher's: the base arrays are shared
+        verbatim and the overlay COO is regrouped with the same stable
+        sort :meth:`end_round` uses.  The replica must never be
+        mutated (``add_arcs``/``retire``/``end_round`` would diverge
+        from the publisher).
+        """
+        self = cls.__new__(cls)
+        self.n = n
+        self.fwd = _Half.from_csr(
+            n, base["fwd:first"], base["fwd:heads"],
+            base["fwd:lens"], base["fwd:hops"],
+        )
+        self.bwd = _Half.from_csr(
+            n, base["bwd:first"], base["bwd:heads"],
+            base["bwd:lens"], base["bwd:hops"],
+        )
+        t, h, l, hp = (
+            overlay["ov:tails"], overlay["ov:heads"],
+            overlay["ov:lens"], overlay["ov:hops"],
+        )
+        if t.size:
+            self.fwd.set_overlay(t, h, l, hp)
+            self.bwd.set_overlay(h, t, l, hp)
+        self.retired = retired
+        self.live_vertices = int(n - int(retired.sum()))
+        self.live_arcs = int(base["fwd:heads"].size + t.size)
+        self.rebuild_every = 1
+        self._pending = []
+        self._overlay_coo = None
+        self._rounds_since_rebuild = 0
+        self.rebuilds = 0
+        self.rebuild_seconds = 0.0
+        self.epoch = 0
+        return self
 
     # -- reads -------------------------------------------------------------
 
@@ -285,4 +376,5 @@ class DynamicAdjacency:
         self._rounds_since_rebuild = 0
         self.live_arcs = int(tails.size)
         self.rebuilds += 1
+        self.epoch += 1
         self.rebuild_seconds += time.perf_counter() - start

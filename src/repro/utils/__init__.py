@@ -1,8 +1,9 @@
-"""Shared utilities: segmented-array helpers, timing, statistics."""
+"""Shared utilities: segmented-array helpers, timing, worker resolution."""
 
 from .hotloop import bulk_compute, keep_malloc_arenas
 from .segments import gather_ranges, repeat_per_segment, segment_minimum
 from .timing import LatencyHistogram, Timer, median_of_repeats
+from .workers import DEFAULT_WORKER_CAP, resolve_workers
 
 __all__ = [
     "bulk_compute",
@@ -13,4 +14,6 @@ __all__ = [
     "LatencyHistogram",
     "Timer",
     "median_of_repeats",
+    "DEFAULT_WORKER_CAP",
+    "resolve_workers",
 ]

@@ -149,6 +149,77 @@ def test_unknown_strategy_rejected(road):
         contract_graph(road, CHParams(strategy="greedy"))
 
 
+# -- parallel preprocessing determinism ---------------------------------------
+
+
+def _assert_hierarchies_identical(a, b):
+    """Every array that defines the hierarchy must match bit for bit."""
+    assert np.array_equal(a.rank, b.rank)
+    assert np.array_equal(a.level, b.level)
+    assert a.num_shortcuts == b.num_shortcuts
+    for side in ("upward", "downward_rev"):
+        ga, gb = getattr(a, side), getattr(b, side)
+        assert np.array_equal(ga.first, gb.first), side
+        assert np.array_equal(ga.arc_head, gb.arc_head), side
+        assert np.array_equal(ga.arc_len, gb.arc_len), side
+    assert np.array_equal(a.upward_via, b.upward_via)
+    assert np.array_equal(a.downward_via, b.downward_via)
+
+
+def test_parallel_preprocessing_bit_identical_to_serial(road):
+    from repro.ch import contract_graph_batched
+
+    serial = contract_graph_batched(road, BATCHED)
+    par = contract_graph_batched(
+        road, BATCHED, num_workers=2, force_pool=True
+    )
+    _assert_hierarchies_identical(serial, par)
+    stats = par.preprocessing_stats
+    assert stats["parallel"] is True
+    assert stats["workers"] == 2
+    assert stats["pool_health"]["workers_configured"] == 2
+    # Same work was done, just elsewhere.
+    assert (
+        stats["witness_searches"]
+        == serial.preprocessing_stats["witness_searches"]
+    )
+    # Query distances (the observable contract) agree everywhere the
+    # arrays already forced them to.
+    rng = np.random.default_rng(9)
+    for _ in range(10):
+        s, t = (int(x) for x in rng.integers(0, road.n, 2))
+        assert (
+            ch_query(serial, s, t).distance == ch_query(par, s, t).distance
+        )
+
+
+def test_parallel_preprocessing_worker_count_invariance():
+    from repro.ch import contract_graph_batched
+
+    g = road_network(RoadNetworkParams(rows=8, cols=8, seed=21))
+    two = contract_graph_batched(g, BATCHED, num_workers=2, force_pool=True)
+    three = contract_graph_batched(g, BATCHED, num_workers=3, force_pool=True)
+    _assert_hierarchies_identical(two, three)
+
+
+def test_preprocess_workers_param_falls_back_serially(road, monkeypatch):
+    """CHParams.preprocess_workers flows through contract_graph; on a
+    single-CPU host (forced here) it degrades to the serial engine with
+    the fallback flagged, and the result is the serial result."""
+    import repro.utils.workers as workers_mod
+
+    monkeypatch.setattr(workers_mod.os, "cpu_count", lambda: 1)
+    ref = contract_graph(road, BATCHED)
+    ch = contract_graph(
+        road, CHParams(strategy="batched", preprocess_workers=4)
+    )
+    stats = ch.preprocessing_stats
+    assert stats["parallel"] is False
+    assert stats["fell_back"] is True
+    assert stats["workers"] == 1
+    _assert_hierarchies_identical(ref, ch)
+
+
 # -- dynamic adjacency --------------------------------------------------------
 
 

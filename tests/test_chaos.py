@@ -113,6 +113,32 @@ def test_crash_fault_recovers_bit_identical(road_ch, reference):
     assert _shm_names() <= before
 
 
+def test_preprocessing_crash_recovers_bit_identical(road, monkeypatch):
+    """A contraction worker SIGKILLed mid-round: the shard is
+    re-dispatched and the finished hierarchy is bit-identical."""
+    from repro.ch import CHParams, contract_graph_batched
+
+    params = CHParams(strategy="batched")
+    ref = contract_graph_batched(road, params)
+    before = _shm_names()
+    # The crash fault is a SIGKILL the worker sends itself at the top
+    # of its first chunk (times=1: one death pool-wide, ever).
+    monkeypatch.setenv("REPRO_FAULT", "crash:chunk=0,times=1")
+    ch = contract_graph_batched(road, params, num_workers=2, force_pool=True)
+    monkeypatch.delenv("REPRO_FAULT")
+    health = ch.preprocessing_stats["pool_health"]
+    assert health["deaths"] >= 1
+    assert health["restarts"] >= 1
+    assert health["chunk_retries"] >= 1
+    assert np.array_equal(ref.rank, ch.rank)
+    assert np.array_equal(ref.level, ch.level)
+    assert np.array_equal(ref.upward.arc_head, ch.upward.arc_head)
+    assert np.array_equal(ref.upward.arc_len, ch.upward.arc_len)
+    assert np.array_equal(ref.downward_rev.arc_head, ch.downward_rev.arc_head)
+    assert ref.num_shortcuts == ch.num_shortcuts
+    assert _shm_names() <= before
+
+
 def test_external_sigkill_recovers_bit_identical(road_ch, reference):
     """An OOM-style kill from outside (not injected in the chunk loop)."""
     sources, ref = reference

@@ -265,6 +265,97 @@ def test_trees_per_core_shim_uses_pool(road, road_ch):
         )
 
 
+# -- generic task pool --------------------------------------------------------
+
+
+def _square_plus(ctx, common, item):
+    return item * item + common["offset"]
+
+
+def _sum_boot(ctx, common, item):
+    return int(ctx.boot["base"].sum()) + item
+
+
+def _sum_published(ctx, common, item):
+    views = ctx.attach(*common["segment"])
+    return int(views["vals"][item])
+
+
+def _count_calls(ctx, common, item):
+    ctx.state["calls"] = ctx.state.get("calls", 0) + 1
+    return ctx.state["calls"]
+
+
+@pytest.mark.parametrize("force", [False, True])
+def test_task_pool_submit_ordering(force):
+    from repro.core import TaskPool
+
+    items = list(range(23))
+    with TaskPool(num_workers=2, force_pool=force) as pool:
+        got = pool.submit(_square_plus, items, common={"offset": 7})
+        assert got == [i * i + 7 for i in items]
+        assert pool.submit(_square_plus, [], common={"offset": 0}) == []
+
+
+@pytest.mark.parametrize("force", [False, True])
+def test_task_pool_boot_arrays(force):
+    from repro.core import TaskPool
+
+    base = np.arange(10, dtype=np.int64)
+    with TaskPool(
+        arrays={"base": base}, num_workers=2, force_pool=force
+    ) as pool:
+        assert pool.submit(_sum_boot, [0, 100]) == [45, 145]
+
+
+@pytest.mark.parametrize("force", [False, True])
+def test_task_pool_publish_and_retire(force):
+    """Dynamic segments: publish → attach-by-name in handlers → retire.
+
+    Published arrays are snapshots — mutating the source afterwards
+    must not leak into what workers read — and closing the pool must
+    leave no orphaned /dev/shm segments.
+    """
+    from repro.core import TaskPool
+
+    before = _shm_names()
+    vals = np.arange(0, 50, 5, dtype=np.int64)
+    with TaskPool(num_workers=2, force_pool=force) as pool:
+        segment = pool.publish_arrays({"vals": vals})
+        vals += 1000  # snapshot semantics: workers must not see this
+        got = pool.submit(
+            _sum_published, [0, 3, 9], common={"segment": segment}
+        )
+        assert got == [0, 15, 45]
+        pool.retire_publication(segment[0])
+        # A fresh publication under a new name works after retiring.
+        second = pool.publish_arrays({"vals": vals})
+        assert pool.submit(
+            _sum_published, [1], common={"segment": second}
+        ) == [1005]
+    assert _shm_names() <= before
+
+
+def test_task_context_state_persists_across_submissions():
+    """A worker's scratch state survives between submit() calls."""
+    from repro.core import TaskPool
+
+    with TaskPool(num_workers=1) as pool:
+        first = pool.submit(_count_calls, [0, 0])
+        second = pool.submit(_count_calls, [0])
+        assert first == [1, 2]
+        assert second == [3]
+
+
+def test_task_pool_closed_rejects_work():
+    from repro.core import TaskPool
+
+    pool = TaskPool(num_workers=1)
+    pool.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        pool.submit(_square_plus, [1], common={"offset": 0})
+
+
 _GUARD_SCRIPT = r"""
 import signal, sys, time
 
