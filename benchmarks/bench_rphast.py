@@ -6,18 +6,31 @@ Delling, Goldberg & Werneck).  Expected shape: selection size and
 query time grow sublinearly with the target count, and for small
 target sets RPHAST beats both a full PHAST sweep and per-target
 Dijkstra by a wide margin.
+
+``run_matrix`` is the distance-matrix serving benchmark: cells/sec at
+``REPRO_BENCH_MATRIX_N`` (default 64) squared for the cached-RPHAST
+serving path against its ablations — cold RPHAST (selection rebuilt
+per request), CH buckets, |S| full PHAST sweeps, and per-pair
+bidirectional CH queries — plus a selection-cache sensitivity sweep.
+Results go to ``BENCH_matrix.json``.
 """
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import numpy as np
 
 from common import fmt, load_instance, print_table, random_sources, time_ms
-from repro.core import RPhastEngine, many_to_many_buckets
+from repro.ch import ch_query
+from repro.core import RPhastEngine, SelectionCache, many_to_many_buckets
 from repro.sssp import dijkstra
 
 TARGET_COUNTS = (4, 16, 64, 256, 1024)
 MATRIX_SIZES = (4, 16, 64)
+MATRIX_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_matrix.json"
 
 
 def run(quiet: bool = False):
@@ -72,6 +85,132 @@ def run(quiet: bool = False):
     return rows
 
 
+def run_matrix(quiet: bool = False):
+    """Distance-matrix serving: cells/sec for every backend, plus the
+    selection-cache sensitivity of the warm path."""
+    inst = load_instance()
+    g, ch = inst.graph, inst.ch
+    n_side = int(os.environ.get("REPRO_BENCH_MATRIX_N", "64"))
+    S = random_sources(g.n, n_side, seed=11)
+    T = random_sources(g.n, n_side, seed=12)
+    cells = len(S) * len(T)
+
+    eng_full = inst.engine()
+    reference = np.stack([eng_full.tree(s).dist[T] for s in S])
+
+    warm = RPhastEngine(ch, T, search_cache=len(S))
+    warm.many_to_many(S)  # populate the upward-search cache
+    # RPHAST emits columns in sorted-unique target order; map back to
+    # the request order the other backends use.
+    cols = np.searchsorted(warm.targets, np.asarray(T, dtype=np.int64))
+
+    backends = {}
+
+    def measure(name, fn, repeats, result):
+        ms = time_ms(fn, repeats)
+        backends[name] = {
+            "ms": ms,
+            "cells_per_sec": cells / (ms / 1e3),
+            "identical": bool(np.array_equal(result, reference)),
+        }
+
+    measure("rphast_warm", lambda: warm.many_to_many(S), 5,
+            warm.many_to_many(S)[:, cols])
+    measure("rphast_cold",
+            lambda: RPhastEngine(ch, T).many_to_many(S), 3,
+            RPhastEngine(ch, T).many_to_many(S)[:, cols])
+    measure("buckets", lambda: many_to_many_buckets(ch, S, T), 3,
+            many_to_many_buckets(ch, S, T))
+    measure("full_sweeps",
+            lambda: np.stack([eng_full.tree(s).dist[T] for s in S]), 3,
+            reference)
+    pair_dists = np.array(
+        [[ch_query(ch, s, t, stall=True).distance for t in T] for s in S]
+    )
+    measure("ch_pairs",
+            lambda: [ch_query(ch, s, t, stall=True) for s in S for t in T],
+            1, pair_dists)
+
+    w = backends["rphast_warm"]["cells_per_sec"]
+    record = {
+        "experiment": "matrix",
+        "n": g.n,
+        "matrix": f"{len(S)}x{len(T)}",
+        "cells": cells,
+        "selection_size": warm.size,
+        "backends": backends,
+        "speedup_warm_vs_full_sweeps":
+            round(w / backends["full_sweeps"]["cells_per_sec"], 2),
+        "speedup_warm_vs_ch_pairs":
+            round(w / backends["ch_pairs"]["cells_per_sec"], 2),
+        "speedup_warm_vs_buckets":
+            round(w / backends["buckets"]["cells_per_sec"], 2),
+        "speedup_warm_vs_cold":
+            round(w / backends["rphast_cold"]["cells_per_sec"], 2),
+    }
+
+    # Cache-hit sensitivity: a fixed request stream cycling over d
+    # distinct target sets against a capacity-8 selection cache.
+    # d <= 8 serves from cache after the first pass; d = 16 thrashes.
+    requests = 32
+    sens = []
+    for distinct in (1, 4, 16):
+        cache = SelectionCache(8)
+        tsets = [random_sources(g.n, n_side, seed=100 + i)
+                 for i in range(distinct)]
+        src = random_sources(g.n, 8, seed=13)
+
+        def serve_stream():
+            for i in range(requests):
+                cache.engine(
+                    ch, tsets[i % distinct], search_cache=len(src)
+                ).many_to_many(src)
+
+        ms = time_ms(serve_stream, 1, warmup=0)
+        snap = cache.snapshot()
+        sens.append({
+            "distinct_target_sets": distinct,
+            "requests": requests,
+            "hit_rate": round(snap["hits"] / requests, 3),
+            "evictions": snap["evictions"],
+            "ms_per_request": ms / requests,
+        })
+    record["cache_sensitivity"] = sens
+
+    if not quiet:
+        print_table(
+            f"matrix {record['matrix']} backends (n={g.n}, "
+            f"selection={warm.size})",
+            ["backend", "ms", "cells/s", "identical"],
+            [
+                [name, fmt(b["ms"], 2), fmt(b["cells_per_sec"], 0),
+                 str(b["identical"])]
+                for name, b in backends.items()
+            ],
+        )
+        print(
+            f"warm RPHAST vs full sweeps: "
+            f"{record['speedup_warm_vs_full_sweeps']}x; "
+            f"vs per-pair CH: {record['speedup_warm_vs_ch_pairs']}x; "
+            f"vs buckets: {record['speedup_warm_vs_buckets']}x"
+        )
+        print_table(
+            "selection-cache sensitivity (capacity 8, 32 requests)",
+            ["distinct T-sets", "hit rate", "evictions", "ms/request"],
+            [
+                [e["distinct_target_sets"], f"{e['hit_rate']:.0%}",
+                 e["evictions"], fmt(e["ms_per_request"], 2)]
+                for e in sens
+            ],
+        )
+    with open(MATRIX_OUTPUT, "w") as f:
+        json.dump(record, f, indent=2)
+        f.write("\n")
+    if not quiet:
+        print(f"wrote {MATRIX_OUTPUT}")
+    return record
+
+
 # -- pytest shape checks -----------------------------------------------------
 
 
@@ -117,3 +256,4 @@ def test_bench_rphast_query(benchmark, europe):
 
 if __name__ == "__main__":
     run()
+    run_matrix()

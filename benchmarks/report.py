@@ -48,6 +48,7 @@ EXPERIMENTS = {
     "applications": bench_applications.run,
     "ablations": bench_ablations.run,
     "rphast": bench_rphast.run,
+    "matrix": bench_rphast.run_matrix,
     "batch_queries": bench_batch_queries.run,
     "highway_dimension": bench_highway_dimension.run,
     "preprocessing": bench_preprocessing.run,

@@ -46,6 +46,7 @@ from .core import (
     GphastEngine,
     PhastEngine,
     RPhastEngine,
+    SelectionCache,
     parents_in_original_graph,
     phast_scalar,
     tree_level_parallel,
@@ -88,6 +89,7 @@ __all__ = [
     "PhastEngine",
     "phast_scalar",
     "RPhastEngine",
+    "SelectionCache",
     "GphastEngine",
     "trees_per_core",
     "tree_level_parallel",

@@ -261,6 +261,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         chunk_timeout_ms=(
             args.chunk_timeout_ms if args.chunk_timeout_ms > 0 else None
         ),
+        selection_cache=args.selection_cache,
     )
     service = PhastService(ch, graph=graph, config=config)
     # Belt and braces: the drain path unlinks the pool's shared memory,
@@ -347,6 +348,14 @@ def _cmd_client(args: argparse.Namespace) -> int:
             dist = client.one_to_many(args.source, targets)
             for t, d in zip(targets, dist):
                 print(f"{args.source} -> {t}: {int(d)}")
+        elif op == "matrix":
+            _require_args(args, "sources", "targets")
+            sources = [int(s) for s in args.sources.split(",")]
+            targets = [int(t) for t in args.targets.split(",")]
+            mat = client.matrix(sources, targets, backend=args.backend)
+            print("        " + " ".join(f"{t:>8}" for t in targets))
+            for s, row in zip(sources, mat):
+                print(f"{s:>8}" + " ".join(f"{int(d):>8}" for d in row))
         elif op == "isochrone":
             _require_args(args, "source", "budget")
             vertices = client.isochrone(args.source, args.budget)
@@ -424,7 +433,7 @@ def _client_burst(args: argparse.Namespace) -> int:
     from .utils.timing import LatencyHistogram
 
     ops = [op.strip().replace("-", "_") for op in args.mix.split(",") if op.strip()]
-    known = {"query", "tree", "one_to_many", "isochrone"}
+    known = {"query", "tree", "one_to_many", "isochrone", "matrix"}
     unknown = set(ops) - known
     if not ops or unknown:
         raise ValueError(f"--mix must name ops from {sorted(known)}")
@@ -437,6 +446,10 @@ def _client_burst(args: argparse.Namespace) -> int:
 
     def worker(tid: int) -> None:
         rng = np.random.default_rng(args.seed + tid)
+        # A fixed per-thread "depot set" for matrix requests: repeated
+        # target sets are the workload the selection cache exists for.
+        depots = sorted(int(v) for v in rng.choice(n, size=min(8, n),
+                                                   replace=False))
         try:
             with ServerClient(args.host, args.port) as client:
                 for i in range(per_thread):
@@ -451,6 +464,11 @@ def _client_burst(args: argparse.Namespace) -> int:
                         k = min(8, n)
                         client.one_to_many(
                             s, rng.choice(n, size=k, replace=False)
+                        )
+                    elif op == "matrix":
+                        k = min(4, n)
+                        client.matrix(
+                            rng.choice(n, size=k, replace=False), depots
                         )
                     else:
                         client.isochrone(s, int(rng.integers(1, 10_000)))
@@ -599,6 +617,8 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--chunk-timeout-ms", type=float, default=0.0,
                     help="kill + respawn a worker whose chunk exceeds "
                     "this (<= 0 disables the per-chunk deadline)")
+    sv.add_argument("--selection-cache", type=int, default=32,
+                    help="LRU capacity for RPHAST matrix selections")
     sv.set_defaults(func=_cmd_serve)
 
     cl = sub.add_parser("client", help="query a running repro server")
@@ -609,12 +629,15 @@ def build_parser() -> argparse.ArgumentParser:
     cl.add_argument(
         "--op",
         choices=("ping", "info", "metrics", "health", "query", "tree",
-                 "one-to-many", "isochrone"),
+                 "one-to-many", "isochrone", "matrix"),
         default="ping",
     )
     cl.add_argument("--source", type=int)
     cl.add_argument("--target", type=int)
-    cl.add_argument("--targets", help="comma-separated ids (one-to-many)")
+    cl.add_argument("--targets", help="comma-separated ids (one-to-many, matrix)")
+    cl.add_argument("--sources", help="comma-separated ids (matrix rows)")
+    cl.add_argument("--backend", choices=("rphast", "buckets"),
+                    help="matrix algorithm (default: server-side rphast)")
     cl.add_argument("--budget", type=int, help="isochrone time budget")
     cl.add_argument("--stall", action="store_true", help="stall-on-demand")
     cl.add_argument("-o", "--output", help="write tree labels (.npz)")

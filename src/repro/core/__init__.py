@@ -17,7 +17,7 @@ from .pool import (
     WorkerContext,
     install_signal_guard,
 )
-from .rphast import RPhastEngine
+from .rphast import RPhastEngine, SelectionCache
 from .supervisor import (
     ChunkQuarantined,
     FaultPlan,
@@ -37,6 +37,7 @@ __all__ = [
     "PhastEngine",
     "phast_scalar",
     "RPhastEngine",
+    "SelectionCache",
     "many_to_many_buckets",
     "SweepStructure",
     "GphastEngine",

@@ -59,6 +59,7 @@ import threading
 import time
 import traceback
 import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Callable, Mapping, Sequence
@@ -69,6 +70,7 @@ from ..ch.hierarchy import ContractionHierarchy
 from ..graph.csr import StaticGraph
 from .parallel import resolve_workers
 from .phast import PhastEngine
+from .rphast import RPhastEngine
 from .supervisor import (
     ChunkQuarantined,
     FaultPlan,
@@ -456,8 +458,62 @@ def _build_worker_state(views: dict[str, np.ndarray], meta: dict):
     return engine, ctx
 
 
+#: Per-process LRU cap on rebuilt restricted (RPHAST) engines; bounds
+#: how many retired-but-still-attached selection segments a worker pins.
+_MATRIX_ENGINE_CACHE = 4
+
+
+def _restricted_engine(ch, task_ctx: TaskContext, batch: dict) -> RPhastEngine:
+    """The restricted engine for a published selection, LRU-cached.
+
+    Cached in ``task_ctx.state`` keyed by segment name: a republished
+    target set gets a fresh segment name, so stale engines age out
+    naturally, and eviction releases the underlying attachment.
+    """
+    name = batch["sel_name"]
+    cache: OrderedDict = task_ctx.state.setdefault(
+        "rphast:engines", OrderedDict()
+    )
+    eng = cache.get(name)
+    if eng is None:
+        views = task_ctx.attach(name, batch["sel_specs"])
+        eng = RPhastEngine.from_arrays(
+            ch, views, search_cache=batch.get("search_cache", 0)
+        )
+        cache[name] = eng
+        while len(cache) > _MATRIX_ENGINE_CACHE:
+            cache.popitem(last=False)
+        task_ctx.release(keep=cache.keys())
+    else:
+        cache.move_to_end(name)
+    return eng
+
+
+def _matrix_rows(reng: RPhastEngine, k: int, start: int,
+                 chunk: list) -> dict[int, np.ndarray]:
+    """Restricted lane sweeps for one chunk of matrix sources.
+
+    Returns per-source target rows keyed by global row index.  Rows are
+    |T|-sized and travel back through the result pipe (no shared output
+    segment), so a re-dispatched chunk is trivially bit-identical and a
+    failed matrix batch needs no writer fencing.
+    """
+    results: dict[int, np.ndarray] = {}
+    for i in range(0, len(chunk), k):
+        sub = chunk[i : i + k]
+        base = start + i
+        if len(sub) == 1:
+            results[base] = reng.distances(int(sub[0]))
+        else:
+            rows = reng.sweep_lanes(sub)
+            for j in range(len(sub)):
+                results[base + j] = rows[j]
+    return results
+
+
 def _run_chunk(engine: PhastEngine, ctx: WorkerContext, k: int, batch: dict,
-               start: int, chunk: list, out: np.ndarray | None):
+               start: int, chunk: list, out: np.ndarray | None,
+               task_ctx: TaskContext | None = None):
     """Process one chunk; every chunk is self-contained and restartable.
 
     Reduce-mode chunks return a *per-chunk* finished state (the app
@@ -466,6 +522,9 @@ def _run_chunk(engine: PhastEngine, ctx: WorkerContext, k: int, batch: dict,
     which worker ran which chunk or how often one was re-dispatched).
     """
     mode = batch["mode"]
+    if mode == "matrix":
+        reng = _restricted_engine(engine.ch, task_ctx, batch)
+        return _matrix_rows(reng, k, start, chunk)
     if mode == "task":
         fn = batch["fn"]
         common = batch["common"]
@@ -552,8 +611,12 @@ def _pool_worker(slot, incarnation, shm_name, specs, meta, work_conn,
         views = _views(shm, specs)
         if meta.get("kind") == "task":
             engine, ctx = None, TaskContext(views)
+            task_ctx = ctx
         else:
             engine, ctx = _build_worker_state(views, meta)
+            # Sweep workers still need a TaskContext: matrix-mode
+            # chunks attach published RPHAST selections through it.
+            task_ctx = TaskContext(views)
     except BaseException:
         try:
             result_conn.send((None, None, slot, "boot_error",
@@ -593,7 +656,8 @@ def _pool_worker(slot, incarnation, shm_name, specs, meta, work_conn,
                         (batch["out_rows"], n), dtype=np.int64,
                         buffer=out_shm.buf,
                     )
-                payload = _run_chunk(engine, ctx, k, batch, start, chunk, out)
+                payload = _run_chunk(engine, ctx, k, batch, start, chunk,
+                                     out, task_ctx)
                 result_conn.send((batch["id"], chunk_id, slot, "ok", payload))
             except (OSError, ValueError, BrokenPipeError):
                 break  # parent is gone; nobody to report to
@@ -608,8 +672,7 @@ def _pool_worker(slot, incarnation, shm_name, specs, meta, work_conn,
     finally:
         beat_stop.set()
         try:
-            if isinstance(ctx, TaskContext):
-                ctx.close()
+            task_ctx.close()
         except Exception:
             pass
         try:
@@ -1359,6 +1422,8 @@ class PhastPool(_BasePool):
         self._engine = PhastEngine(
             ch, reorder=self.reorder, search_cache=self.search_cache
         )
+        # Serial-path twin of the workers' restricted-engine cache.
+        self._restricted_local: OrderedDict[str, RPhastEngine] = OrderedDict()
         if not self._serial:
             self._start_workers(context)
         _LIVE_POOLS.add(self)
@@ -1480,7 +1545,68 @@ class PhastPool(_BasePool):
             merged.update(part)
         return [merged[i] for i in range(len(sources))]
 
+    def matrix(
+        self,
+        sources: Sequence[int],
+        *,
+        selection: tuple,
+        search_cache: int = 0,
+    ) -> np.ndarray:
+        """Distance matrix rows over a published restricted selection.
+
+        ``selection`` is the ``(name, specs)`` handle returned by
+        :meth:`publish_arrays` for an ``RPhastEngine``'s
+        ``selection_arrays()``.  Sources are chunked over the workers,
+        each sweeping ``sources_per_sweep`` lanes per restricted pass;
+        the result is ``(len(sources), |targets|)`` with columns
+        aligned to the engine's (deduplicated, sorted) target set.
+
+        Rows travel back through the result pipes rather than the
+        shared dist segment — they are |targets|-sized, so the pickle
+        cost is negligible and a failed batch leaves no stale writers
+        behind.  Restricted sweeps are deterministic, so the matrix is
+        bit-identical for every worker count and across worker deaths.
+        """
+        sources = [int(s) for s in sources]
+        if not sources:
+            return np.empty((0, 0), dtype=np.int64)
+        name, specs = selection
+        batch = {
+            "mode": "matrix",
+            "sel_name": name,
+            "sel_specs": specs,
+            "search_cache": int(search_cache),
+        }
+        parts = self._execute(batch, sources)
+        merged: dict[int, np.ndarray] = {}
+        for part in parts:
+            merged.update(part)
+        return np.stack([merged[i] for i in range(len(sources))])
+
+    def retire_publication(self, name: str) -> None:
+        self._restricted_local.pop(name, None)
+        super().retire_publication(name)
+
+    def _restricted_serial(self, batch: dict) -> RPhastEngine:
+        name = batch["sel_name"]
+        eng = self._restricted_local.get(name)
+        if eng is None:
+            views = self._local_segments[name]
+            eng = RPhastEngine.from_arrays(
+                self.ch, views, search_cache=batch.get("search_cache", 0)
+            )
+            self._restricted_local[name] = eng
+            while len(self._restricted_local) > _MATRIX_ENGINE_CACHE:
+                self._restricted_local.popitem(last=False)
+        else:
+            self._restricted_local.move_to_end(name)
+        return eng
+
     def _execute_serial(self, batch: dict, sources: list[int], out=None):
+        if batch["mode"] == "matrix":
+            return [
+                _matrix_rows(self._restricted_serial(batch), self.k, 0, sources)
+            ]
         ctx = WorkerContext(self.n, {}, self._arrays, graphs=self._graphs)
         engine = self._engine
         k = self.k

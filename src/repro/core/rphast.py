@@ -23,18 +23,44 @@ for ``t``.
 
 For ``|T| ≪ n`` the selected set is a small cone and one-to-many
 queries run orders of magnitude faster than a full sweep.
+
+Matrix workloads layer two more reuse levels on top:
+
+* multi-source *lane* sweeps (:meth:`RPhastEngine.sweep_lanes`) relax
+  each restricted arc once for a whole group of sources, the same
+  trick ``PhastEngine.trees`` uses on the full sweep;
+* a :class:`SelectionCache` keeps frozen selections alive across
+  requests keyed by target-set hash, so repeated queries against the
+  same depot/POI sets pay selection once.
 """
 
 from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Callable
 
 import numpy as np
 
 from ..ch.hierarchy import ContractionHierarchy
 from ..ch.query import upward_search
 from ..graph.csr import INF
-from ..utils.segments import segment_minimum
+from ..utils.segments import gather_ranges
 
-__all__ = ["RPhastEngine"]
+__all__ = ["RPhastEngine", "SelectionCache"]
+
+#: Arrays that fully describe a selection (see
+#: :meth:`RPhastEngine.selection_arrays`); everything else an engine
+#: needs is derived from these plus the hierarchy's upward graph.
+SELECTION_KEYS = (
+    "targets",
+    "vertex_at",
+    "target_pos",
+    "arc_tail_pos",
+    "arc_len",
+    "arc_first",
+    "level_first",
+)
 
 
 class RPhastEngine:
@@ -46,6 +72,10 @@ class RPhastEngine:
         Preprocessed hierarchy.
     targets:
         Target vertex IDs; duplicates are collapsed.
+    search_cache:
+        When positive, LRU-cache the per-source upward searches (in
+        restricted-position form) for up to this many distinct
+        sources — the same pattern as ``PhastEngine(search_cache=…)``.
 
     Notes
     -----
@@ -53,9 +83,27 @@ class RPhastEngine:
     paid once per target set; queries reuse it for any number of
     sources (the asymmetry mirrors PHAST's own preprocessing/query
     split, one level down).
+
+    Engines keep reusable sweep buffers, so a single instance is not
+    safe for concurrent queries from multiple threads.
     """
 
-    def __init__(self, ch: ContractionHierarchy, targets) -> None:
+    #: Same cutover as ``PhastEngine.SCALAR_ARC_THRESHOLD``: leading
+    #: levels with fewer arcs than this are swept with plain Python
+    #: scalars, where the NumPy call overhead dwarfs the work.
+    SCALAR_ARC_THRESHOLD = 48
+
+    #: Default lane width of :meth:`many_to_many`; matches the pool's
+    #: default ``sources_per_sweep``.
+    DEFAULT_LANES = 16
+
+    def __init__(
+        self,
+        ch: ContractionHierarchy,
+        targets,
+        *,
+        search_cache: int = 0,
+    ) -> None:
         self.ch = ch
         targets = np.unique(np.asarray(targets, dtype=np.int64))
         if targets.size == 0:
@@ -64,21 +112,26 @@ class RPhastEngine:
             raise ValueError("target out of range")
         self.targets = targets
         self._build(ch, targets)
+        self._prepare_query_state(search_cache)
+
+    # ------------------------------------------------------------------
+    # Selection
 
     def _build(self, ch: ContractionHierarchy, targets: np.ndarray) -> None:
         down = ch.downward_rev
         # Reverse traversal over G-down from the targets: the stored
         # adjacency lists exactly the higher-ranked tails of each
         # vertex's incoming downward arcs, i.e. its "parents" here.
+        # Frontier-at-a-time: one gather over the CSR ranges of the
+        # whole frontier per round instead of a Python stack.
         in_set = np.zeros(ch.n, dtype=bool)
         in_set[targets] = True
-        stack = [int(t) for t in targets]
-        while stack:
-            v = stack.pop()
-            for u in down.neighbors(v):
-                if not in_set[u]:
-                    in_set[u] = True
-                    stack.append(int(u))
+        frontier = targets
+        while frontier.size:
+            arc_idx, _ = gather_ranges(down.first, frontier)
+            parents = down.arc_head[arc_idx]
+            frontier = np.unique(parents[~in_set[parents]])
+            in_set[frontier] = True
         selected = np.flatnonzero(in_set)
 
         # Order the selected vertices by descending level (ties by ID),
@@ -94,20 +147,14 @@ class RPhastEngine:
         # Restricted arc arrays: all incoming downward arcs of selected
         # vertices (their tails are selected by construction), grouped
         # by head sweep position.
-        starts = down.first[self.vertex_at]
-        counts = down.first[self.vertex_at + 1] - starts
-        total = int(counts.sum())
-        if total:
-            group_start = np.concatenate(([0], np.cumsum(counts)[:-1]))
-            within = np.arange(total, dtype=np.int64) - np.repeat(
-                group_start, counts
-            )
-            arc_idx = np.repeat(starts, counts) + within
+        arc_idx, _ = gather_ranges(down.first, self.vertex_at)
+        if arc_idx.size:
             self.arc_tail_pos = self._pos_of[down.arc_head[arc_idx]]
-            self.arc_len = down.arc_len[arc_idx]
+            self.arc_len = np.ascontiguousarray(down.arc_len[arc_idx])
         else:
             self.arc_tail_pos = np.zeros(0, dtype=np.int64)
             self.arc_len = np.zeros(0, dtype=np.int64)
+        counts = down.first[self.vertex_at + 1] - down.first[self.vertex_at]
         self.arc_first = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
 
         # Level blocks over the restricted positions.
@@ -116,12 +163,19 @@ class RPhastEngine:
         self.level_first = np.concatenate(([0], cuts, [self.size])).astype(
             np.int64
         )
-        self._dist = np.empty(self.size, dtype=np.int64)
 
+    def _prepare_query_state(self, search_cache: int) -> None:
+        """Derive sweep plans and buffers from the selection arrays.
+
+        Everything here is a pure function of the arrays in
+        :data:`SELECTION_KEYS`, so :meth:`from_arrays` can rebuild an
+        engine from a published selection without redoing the
+        traversal.
+        """
         # Restricted selections are dominated by small levels, so the
         # same scalar-prefix trick PhastEngine uses matters even more
         # here (see PhastEngine.SCALAR_ARC_THRESHOLD).
-        threshold = 48
+        threshold = self.SCALAR_ARC_THRESHOLD
         scalar_levels = 0
         for i in range(self.level_first.size - 1):
             lo, hi = int(self.level_first[i]), int(self.level_first[i + 1])
@@ -135,10 +189,138 @@ class RPhastEngine:
         self._prefix_tails = self.arc_tail_pos[:prefix_arcs].tolist()
         self._prefix_lens = self.arc_len[:prefix_arcs].tolist()
 
+        # Per-level reduceat plans, precomputed once: slice bounds plus
+        # segment starts/occupancy, so the per-query loop allocates no
+        # boundary arrays.
+        self._level_plans = []
+        max_arcs = 0
+        max_width = 0
+        for i in range(self.level_first.size - 1):
+            lo, hi = int(self.level_first[i]), int(self.level_first[i + 1])
+            alo, ahi = int(self.arc_first[lo]), int(self.arc_first[hi])
+            bounds = self.arc_first[lo : hi + 1] - alo
+            nonempty = bounds[:-1] < bounds[1:]
+            starts = np.ascontiguousarray(bounds[:-1][nonempty])
+            self._level_plans.append((lo, hi, alo, ahi, starts, nonempty))
+            max_arcs = max(max_arcs, ahi - alo)
+            max_width = max(max_width, hi - lo)
+
+        self._dist = np.empty(self.size, dtype=np.int64)
+        self._dist_multi: np.ndarray | None = None
+        self._cand = np.empty(max_arcs, dtype=np.int64)
+        self._values = np.empty(max_width, dtype=np.int64)
+
+        self._search_cache_cap = int(search_cache)
+        self._search_cache: OrderedDict[int, tuple] = OrderedDict()
+        self.search_cache_hits = 0
+        self.search_cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # Sharing a selection across processes
+
+    def selection_arrays(self) -> dict[str, np.ndarray]:
+        """The arrays that define this selection, keyed for publication.
+
+        Compact by design — ``_pos_of`` (full ``n``) is rebuilt on the
+        far side — so a published selection costs O(selected), not
+        O(n).  Feed the result to ``PhastPool.publish_arrays`` and
+        rebuild with :meth:`from_arrays`.
+        """
+        return {key: getattr(self, key) for key in SELECTION_KEYS}
+
+    @classmethod
+    def from_arrays(
+        cls,
+        ch: ContractionHierarchy,
+        views: dict[str, np.ndarray],
+        *,
+        search_cache: int = 0,
+    ) -> "RPhastEngine":
+        """Rebuild an engine from :meth:`selection_arrays` output.
+
+        ``ch`` only needs ``n`` and the upward graph (a worker-side
+        ``_WorkerHierarchy`` qualifies); the downward traversal is not
+        repeated.
+        """
+        eng = cls.__new__(cls)
+        eng.ch = ch
+        for key in SELECTION_KEYS:
+            setattr(eng, key, np.asarray(views[key]))
+        eng.size = int(eng.vertex_at.size)
+        eng._pos_of = np.full(ch.n, -1, dtype=np.int64)
+        eng._pos_of[eng.vertex_at] = np.arange(eng.size, dtype=np.int64)
+        eng._prepare_query_state(search_cache)
+        return eng
+
+    def freeze(self) -> "RPhastEngine":
+        """Mark the selection arrays read-only (cache-safety) and return self."""
+        for key in SELECTION_KEYS:
+            arr = getattr(self, key)
+            if arr.flags.owndata:
+                arr.flags.writeable = False
+        self._pos_of.flags.writeable = False
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries
+
     @property
     def num_arcs(self) -> int:
         """Downward arcs the restricted sweep scans."""
         return int(self.arc_len.size)
+
+    def _search_by_position(self, source: int) -> tuple[np.ndarray, np.ndarray]:
+        """Upward search from ``source``, projected onto restricted positions.
+
+        Returns ``(marked_pos, marked_val)`` sorted by position;
+        LRU-cached when the engine was built with ``search_cache``.
+        """
+        cap = self._search_cache_cap
+        if cap:
+            cached = self._search_cache.get(source)
+            if cached is not None:
+                self._search_cache.move_to_end(source)
+                self.search_cache_hits += 1
+                return cached
+            self.search_cache_misses += 1
+        space = upward_search(self.ch, source)
+        pos = self._pos_of[space.vertices]
+        keep = pos >= 0
+        pos, vals = pos[keep], space.dists[keep]
+        order = np.argsort(pos)
+        result = (pos[order], vals[order])
+        if cap:
+            for arr in result:
+                arr.flags.writeable = False
+            self._search_cache[source] = result
+            if len(self._search_cache) > cap:
+                self._search_cache.popitem(last=False)
+        return result
+
+    def _scalar_prefix_sweep(
+        self, dist: np.ndarray, marked_pos: np.ndarray, marked_val: np.ndarray
+    ) -> int:
+        P = self._prefix_positions
+        first = self._prefix_first
+        tails = self._prefix_tails
+        lens = self._prefix_lens
+        inf = int(INF)
+        mk = 0
+        out = [0] * P
+        for p in range(P):
+            best = inf
+            for i in range(first[p], first[p + 1]):
+                c = out[tails[i]] + lens[i]
+                if c < best:
+                    best = c
+            while mk < marked_pos.size and marked_pos[mk] == p:
+                v = int(marked_val[mk])
+                if v < best:
+                    best = v
+                mk += 1
+            out[p] = best if best < inf else inf
+        dist[:P] = out
+        return mk
 
     def distances(self, source: int, *, all_selected: bool = False) -> np.ndarray:
         """Distances from ``source`` to the targets (one restricted sweep).
@@ -147,63 +329,205 @@ class RPhastEngine:
         ``self.targets``; with ``all_selected=True``, labels for every
         selected vertex instead, aligned with ``self.vertex_at``.
         """
-        space = upward_search(self.ch, source)
-        pos = self._pos_of[space.vertices]
-        keep = pos >= 0
-        pos, vals = pos[keep], space.dists[keep]
-        order = np.argsort(pos)
-        marked_pos, marked_val = pos[order], vals[order]
+        marked_pos, marked_val = self._search_by_position(int(source))
 
         dist = self._dist
         mk = 0
         if self._prefix_positions:
-            P = self._prefix_positions
-            first = self._prefix_first
-            tails = self._prefix_tails
-            lens = self._prefix_lens
-            inf = int(INF)
-            out = [0] * P
-            for p in range(P):
-                best = inf
-                for i in range(first[p], first[p + 1]):
-                    c = out[tails[i]] + lens[i]
-                    if c < best:
-                        best = c
-                while mk < marked_pos.size and marked_pos[mk] == p:
-                    v = int(marked_val[mk])
-                    if v < best:
-                        best = v
-                    mk += 1
-                out[p] = best if best < inf else inf
-            dist[:P] = out
-        for i in range(self._scalar_levels, self.level_first.size - 1):
-            lo, hi = int(self.level_first[i]), int(self.level_first[i + 1])
-            alo, ahi = int(self.arc_first[lo]), int(self.arc_first[hi])
-            cand = dist[self.arc_tail_pos[alo:ahi]] + self.arc_len[alo:ahi]
-            boundaries = self.arc_first[lo : hi + 1] - alo
-            values = segment_minimum(cand, boundaries)
-            np.minimum(values, INF, out=values)
-            mk_hi = mk
-            while mk_hi < marked_pos.size and marked_pos[mk_hi] < hi:
-                mk_hi += 1
+            mk = self._scalar_prefix_sweep(dist, marked_pos, marked_val)
+        arc_tail_pos = self.arc_tail_pos
+        arc_len = self.arc_len
+        for lo, hi, alo, ahi, starts, nonempty in self._level_plans[
+            self._scalar_levels :
+        ]:
+            values = self._values[: hi - lo]
+            values.fill(INF)
+            if ahi > alo:
+                cand = self._cand[: ahi - alo]
+                # dist never exceeds INF and INF + max arc length still
+                # fits in int64 (see graph.csr.INF), so the clamp below
+                # is exact, not a truncation.
+                np.add(dist[arc_tail_pos[alo:ahi]], arc_len[alo:ahi], out=cand)
+                seg = np.minimum.reduceat(cand, starts)
+                np.minimum(seg, INF, out=seg)
+                values[nonempty] = seg
+            mk_hi = int(np.searchsorted(marked_pos, hi, side="left"))
             if mk_hi > mk:
                 np.minimum.at(
                     values, marked_pos[mk:mk_hi] - lo, marked_val[mk:mk_hi]
                 )
-            mk = mk_hi
+                mk = mk_hi
             dist[lo:hi] = values
         if all_selected:
             return dist.copy()
         return dist[self.target_pos].copy()
 
-    def many_to_many(self, sources) -> np.ndarray:
+    def sweep_lanes(self, sources) -> np.ndarray:
+        """Distances for a lane group in ONE restricted sweep.
+
+        Same multi-lane trick as ``PhastEngine.trees``: the distance
+        matrix is ``(positions, k)`` row-major, each arc relaxation is
+        a width-``k`` vector op, and all upward-search entry points are
+        merged into a single position-sorted stream.  Returns
+        ``(len(sources), len(targets))``.
+        """
+        sources = np.asarray(sources, dtype=np.int64)
+        k = int(sources.size)
+        if k == 0:
+            return np.empty((0, self.targets.size), dtype=np.int64)
+        if self._dist_multi is None or self._dist_multi.shape[1] != k:
+            self._dist_multi = np.empty((self.size, k), dtype=np.int64)
+        dist = self._dist_multi
+
+        searches = [self._search_by_position(int(s)) for s in sources]
+        mpos = np.concatenate([p for p, _ in searches])
+        mlane = np.concatenate(
+            [
+                np.full(p.size, lane, dtype=np.int64)
+                for lane, (p, _) in enumerate(searches)
+            ]
+        )
+        mval = np.concatenate([v for _, v in searches])
+        order = np.argsort(mpos, kind="stable")
+        mpos, mlane, mval = mpos[order], mlane[order], mval[order]
+
+        arc_tail_pos = self.arc_tail_pos
+        arc_len = self.arc_len
+        mk = 0
+        for lo, hi, alo, ahi, starts, nonempty in self._level_plans:
+            values = np.full((hi - lo, k), INF, dtype=np.int64)
+            if ahi > alo:
+                cand = dist[arc_tail_pos[alo:ahi], :] + arc_len[alo:ahi, None]
+                seg = np.minimum.reduceat(cand, starts, axis=0)
+                np.minimum(seg, INF, out=seg)
+                values[nonempty] = seg
+            mk_hi = int(np.searchsorted(mpos, hi, side="left"))
+            if mk_hi > mk:
+                np.minimum.at(
+                    values,
+                    (mpos[mk:mk_hi] - lo, mlane[mk:mk_hi]),
+                    mval[mk:mk_hi],
+                )
+                mk = mk_hi
+            dist[lo:hi, :] = values
+        return np.ascontiguousarray(dist[self.target_pos, :].T)
+
+    def many_to_many(self, sources, *, lanes: int | None = None) -> np.ndarray:
         """Distance matrix ``(len(sources), len(targets))``.
 
         The batched building block of travel-time-matrix services: one
-        restricted sweep per source over the shared selection.
+        restricted *lane-group* sweep per ``lanes`` sources over the
+        shared selection (instead of one sweep per source).
         """
+        if lanes is None:
+            lanes = self.DEFAULT_LANES
+        if lanes < 1:
+            raise ValueError("lanes must be positive")
         sources = np.asarray(sources, dtype=np.int64)
         out = np.empty((sources.size, self.targets.size), dtype=np.int64)
-        for i, s in enumerate(sources):
-            out[i] = self.distances(int(s))
+        for i in range(0, int(sources.size), lanes):
+            group = sources[i : i + lanes]
+            if group.size == 1:
+                out[i] = self.distances(int(group[0]))
+            else:
+                out[i : i + group.size] = self.sweep_lanes(group)
         return out
+
+    def cache_info(self) -> dict[str, int]:
+        """Upward ``search_cache`` occupancy and hit counters."""
+        return {
+            "capacity": self._search_cache_cap,
+            "entries": len(self._search_cache),
+            "hits": self.search_cache_hits,
+            "misses": self.search_cache_misses,
+        }
+
+
+class SelectionCache:
+    """LRU cache of frozen :class:`RPhastEngine` selections.
+
+    Keys are target-set hashes (:meth:`key_of`), values are whatever
+    the caller stores — typically ``(engine, publication_handle)`` on a
+    server.  An optional ``on_evict(key, value)`` hook runs when an
+    entry falls off the LRU end (or on :meth:`clear`), which is where
+    the server retires the selection's shared-memory publication.
+
+    Not thread-safe by itself; the server funnels every access through
+    the single MicroBatcher dispatch thread.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 32,
+        *,
+        on_evict: Callable[[str, object], None] | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self.on_evict = on_evict
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key_of(targets) -> str:
+        """Order-insensitive content hash of a target set."""
+        t = np.unique(np.asarray(targets, dtype=np.int64))
+        return hashlib.blake2b(t.tobytes(), digest_size=16).hexdigest()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str):
+        """The cached value, bumped to most-recent, or ``None``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, value) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            old_key, old_value = self._entries.popitem(last=False)
+            self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(old_key, old_value)
+
+    def engine(self, ch: ContractionHierarchy, targets, **kwargs) -> RPhastEngine:
+        """Cached-or-built engine for ``targets`` (library-side helper).
+
+        The server uses :meth:`get`/:meth:`put` directly because its
+        values also carry the pool publication handle.
+        """
+        key = self.key_of(targets)
+        entry = self.get(key)
+        if entry is None:
+            entry = RPhastEngine(ch, targets, **kwargs).freeze()
+            self.put(key, entry)
+        return entry
+
+    def clear(self) -> None:
+        """Evict everything, running ``on_evict`` for each entry."""
+        while self._entries:
+            old_key, old_value = self._entries.popitem(last=False)
+            self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(old_key, old_value)
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

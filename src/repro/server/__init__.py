@@ -23,9 +23,9 @@ Modules
 :mod:`~repro.server.metrics`
     Request counters plus batch-size / wait / latency histograms.
 :mod:`~repro.server.service`
-    The asyncio TCP service tying it together: four query types
-    (point-to-point, one-to-many, full tree, isochrone), deadlines,
-    graceful drain on SIGINT/SIGTERM.
+    The asyncio TCP service tying it together: five query types
+    (point-to-point, one-to-many, full tree, isochrone, travel-time
+    matrix), deadlines, graceful drain on SIGINT/SIGTERM.
 :mod:`~repro.server.client`
     Blocking client library used by ``repro client``, the tests and
     the closed-loop load generator.

@@ -215,6 +215,26 @@ class ServerClient:
         resp = self.call("one_to_many", **params)
         return np.asarray(resp["dist"], dtype=np.int64)
 
+    def matrix(self, sources, targets, *, backend: str | None = None,
+               timeout_ms: float | None = "unset") -> np.ndarray:
+        """Travel-time matrix: row ``i`` = distances from ``sources[i]``
+        to each of ``targets`` (int64, INF = unreachable).
+
+        ``backend`` selects the server-side algorithm: ``"rphast"``
+        (cached restricted sweeps, the default) or ``"buckets"`` (the
+        Knopp-style ablation baseline).
+        """
+        params = {
+            "sources": [int(s) for s in sources],
+            "targets": [int(t) for t in targets],
+        }
+        if backend is not None:
+            params["backend"] = backend
+        if timeout_ms != "unset":
+            params["timeout_ms"] = timeout_ms
+        resp = self.call("matrix", **params)
+        return np.asarray(resp["matrix"], dtype=np.int64)
+
     def isochrone(self, source: int, budget: int, *,
                   timeout_ms: float | None = "unset") -> np.ndarray:
         """Sorted vertex ids within ``budget`` of ``source`` (int64)."""

@@ -35,6 +35,9 @@ class ServerMetrics:
         self.lanes_total = 0
         self.batch_wait = LatencyHistogram()
         self.sweep_time = LatencyHistogram()
+        # Matrix (many-to-many) telemetry.
+        self.matrix_requests = 0
+        self.matrix_cells = 0
 
     def record_request(self, op: str) -> None:
         with self._lock:
@@ -69,8 +72,15 @@ class ServerMetrics:
         with self._lock:
             self.batch_failures += 1
 
+    def record_matrix(self, cells: int) -> None:
+        """One answered matrix request of ``cells`` = rows x cols."""
+        with self._lock:
+            self.matrix_requests += 1
+            self.matrix_cells += int(cells)
+
     def snapshot(self, admission: dict | None = None,
-                 pool: dict | None = None) -> dict:
+                 pool: dict | None = None,
+                 selection_cache: dict | None = None) -> dict:
         """JSON-able view of everything above."""
         with self._lock:
             batches = sum(self.batch_sizes.values())
@@ -93,9 +103,15 @@ class ServerMetrics:
                     "wait_ms": self.batch_wait.summary(),
                     "sweep_ms": self.sweep_time.summary(),
                 },
+                "matrix": {
+                    "requests": self.matrix_requests,
+                    "cells_total": self.matrix_cells,
+                },
             }
         if admission is not None:
             snap["admission"] = admission
         if pool is not None:
             snap["pool"] = pool
+        if selection_cache is not None:
+            snap["selection_cache"] = selection_cache
         return snap

@@ -57,25 +57,37 @@ class SweepRequest:
     response payload; it runs on the executor thread right after the
     sweep, while the row is hot in cache and before the pool's shared
     output buffer can be reused by the next batch.
+
+    *Exclusive* requests pass ``execute`` instead: a no-argument
+    callable returning the payload, run on the executor thread after
+    the batch's shared sweep (matrix requests use this — their pool
+    call has its own fan-out and doesn't fit a single lane).  Routing
+    them through the batcher keeps every pool access on the one
+    dispatch thread while they still get deadline checks and ride the
+    same admission accounting.
     """
 
     __slots__ = ("op", "source", "finalize", "future", "enqueued_at",
-                 "deadline")
+                 "deadline", "execute")
 
     def __init__(
         self,
         op: str,
         source: int,
-        finalize: Callable,
+        finalize: Callable | None,
         *,
         deadline: float | None = None,
+        execute: Callable | None = None,
     ) -> None:
+        if (finalize is None) == (execute is None):
+            raise ValueError("exactly one of finalize/execute is required")
         self.op = op
         self.source = int(source)
         self.finalize = finalize
         self.future: asyncio.Future = asyncio.get_running_loop().create_future()
         self.enqueued_at = time.monotonic()
         self.deadline = deadline
+        self.execute = execute
 
     def expired(self, now: float) -> bool:
         return self.deadline is not None and now >= self.deadline
@@ -285,12 +297,16 @@ class MicroBatcher:
         t0 = time.monotonic()
         lane: dict[int, int] = {}
         for req in live:
-            lane.setdefault(req.source, len(lane))
-        rows = self.sweep_fn(list(lane))
+            if req.execute is None:
+                lane.setdefault(req.source, len(lane))
+        rows = self.sweep_fn(list(lane)) if lane else None
         payloads: list = []
         for req in live:
             try:
-                payloads.append(req.finalize(rows[lane[req.source]]))
+                if req.execute is not None:
+                    payloads.append(req.execute())
+                else:
+                    payloads.append(req.finalize(rows[lane[req.source]]))
             except Exception as exc:
                 payloads.append(exc)
         return payloads, time.monotonic() - t0, len(lane)

@@ -11,6 +11,15 @@ One process, one preprocessed hierarchy, four query types:
     enter the :class:`~repro.server.scheduler.MicroBatcher` and ride a
     shared k-lane sweep, differing only in how the row is post-processed
     (whole row / gather at targets / threshold).
+``matrix``
+    k×m travel-time matrices.  The restricted (RPHAST) selection for
+    the target set is built once, cached in an LRU keyed by target-set
+    hash, published to the pool workers as a retireable shared-memory
+    segment, and swept in multi-source lane groups chunked over the
+    workers.  Rides the batcher as an *exclusive* request so all pool
+    access stays on the single dispatch thread.  A ``backend:
+    "buckets"`` override answers with the Knopp-style bucket algorithm
+    instead (ablation/cross-check path).
 ``ping`` / ``info`` / ``metrics`` / ``health``
     Liveness, instance facts, serving statistics, and readiness (pool
     live-worker count, restart/retry/quarantine counters, queue depth).
@@ -37,7 +46,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..ch.query import ch_query
+from ..core.many_to_many import many_to_many_buckets
 from ..core.pool import PhastPool
+from ..core.rphast import RPhastEngine, SelectionCache
 from ..core.supervisor import ChunkQuarantined, PoolBroken
 from ..graph.csr import INF
 from . import protocol
@@ -53,7 +64,9 @@ from .scheduler import (
 __all__ = ["ServerConfig", "PhastService", "ServerHandle", "serve_in_thread"]
 
 #: Ops that perform shortest-path work (and thus pass admission).
-WORK_OPS = ("query", "tree", "one_to_many", "isochrone")
+WORK_OPS = ("query", "tree", "one_to_many", "isochrone", "matrix")
+#: Matrix backends: restricted sweeps (default) vs Knopp buckets.
+MATRIX_BACKENDS = ("rphast", "buckets")
 #: Ops answered even while draining.
 ADMIN_OPS = ("ping", "info", "metrics", "health")
 
@@ -98,6 +111,11 @@ class ServerConfig:
     max_respawns: int | None = None
     #: How often the degraded-admission loop samples pool capacity.
     health_poll_ms: float = 250.0
+    #: LRU capacity of the RPHAST selection cache (distinct target
+    #: sets with warm restricted structures + live pool publications).
+    selection_cache: int = 32
+    #: Per-engine upward search cache for matrix sources (entries).
+    matrix_search_cache: int = 256
 
     def __post_init__(self) -> None:
         if self.batch_max < 1:
@@ -114,6 +132,10 @@ class ServerConfig:
             raise ValueError("chunk_timeout_ms must be > 0 (or None)")
         if self.health_poll_ms <= 0:
             raise ValueError("health_poll_ms must be > 0")
+        if self.selection_cache < 1:
+            raise ValueError("selection_cache must be >= 1")
+        if self.matrix_search_cache < 0:
+            raise ValueError("matrix_search_cache must be >= 0")
 
 
 class _BadRequest(Exception):
@@ -130,6 +152,17 @@ def _require_int(msg: dict, key: str, *, lo: int | None = None,
     if hi is not None and value >= hi:
         raise _BadRequest(f"{key!r} must be < {hi} (got {value})")
     return value
+
+
+def _require_vertex_list(msg: dict, key: str, n: int) -> list[int]:
+    values = msg.get(key)
+    if (not isinstance(values, list) or not values
+            or not all(isinstance(v, int) and not isinstance(v, bool)
+                       and 0 <= v < n for v in values)):
+        raise _BadRequest(
+            f"{key!r} must be a non-empty list of vertex ids in [0, {n})"
+        )
+    return values
 
 
 class PhastService:
@@ -164,6 +197,14 @@ class PhastService:
                            else self.config.chunk_timeout_ms / 1e3),
             max_chunk_retries=self.config.max_chunk_retries,
             max_respawns=self.config.max_respawns,
+        )
+        # RPHAST selections for the matrix op: LRU of
+        # (frozen engine, pool publication handle) keyed by target-set
+        # hash.  Touched only from the batcher's dispatch thread
+        # (matrix requests are exclusive), so no locking is needed;
+        # eviction retires the selection's shared-memory segment.
+        self.selections = SelectionCache(
+            self.config.selection_cache, on_evict=self._retire_selection
         )
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.executor_threads,
@@ -243,6 +284,7 @@ class PhastService:
             await asyncio.gather(*list(self._tasks), return_exceptions=True)
         await self.batcher.stop()
         self._executor.shutdown(wait=True)
+        self.selections.clear()
         self.pool.close()
         for writer in list(self._writers):
             writer.close()
@@ -261,6 +303,57 @@ class PhastService:
     def _sweep(self, sources: list[int]) -> np.ndarray:
         """One multi-source sweep (executor thread; serialized)."""
         return self.pool.trees(sources)
+
+    # -- matrix plumbing ---------------------------------------------------
+
+    def _retire_selection(self, key: str, entry: tuple) -> None:
+        """Selection-cache eviction hook: unlink the pool publication."""
+        _engine, (name, _specs) = entry
+        self.pool.retire_publication(name)
+
+    def _selection(self, targets: np.ndarray) -> tuple:
+        """The cached (engine, publication) for a target set, built on miss.
+
+        Runs on the batcher dispatch thread only (exclusive request),
+        which serializes cache access and pool publication.
+        """
+        key = SelectionCache.key_of(targets)
+        entry = self.selections.get(key)
+        if entry is None:
+            engine = RPhastEngine(self.ch, targets).freeze()
+            publication = self.pool.publish_arrays(engine.selection_arrays())
+            entry = (engine, publication)
+            self.selections.put(key, entry)
+        return entry
+
+    def _matrix_payload(self, sources: list[int], targets: list[int],
+                        backend: str) -> dict:
+        """Compute one k×m matrix (executor thread, exclusive dispatch)."""
+        hits_before = self.selections.hits
+        if backend == "buckets":
+            mat = many_to_many_buckets(self.ch, sources, targets)
+            cached = False
+        else:
+            t_arr = np.asarray(targets, dtype=np.int64)
+            engine, publication = self._selection(t_arr)
+            cached = self.selections.hits > hits_before
+            rows = self.pool.matrix(
+                sources,
+                selection=publication,
+                search_cache=self.config.matrix_search_cache,
+            )
+            # Rows come back aligned to the engine's deduplicated,
+            # sorted target set; re-map to the request's column order.
+            cols = np.searchsorted(engine.targets, t_arr)
+            mat = rows[:, cols]
+        self.metrics.record_matrix(mat.size)
+        return {
+            "matrix": mat.tolist(),
+            "rows": int(mat.shape[0]),
+            "cols": int(mat.shape[1]),
+            "backend": backend,
+            "selection_cached": cached,
+        }
 
     # -- connection handling -----------------------------------------------
 
@@ -375,6 +468,7 @@ class PhastService:
                 max_wait_ms=self.config.max_wait_ms,
                 workers=self.pool.num_workers,
                 serial_pool=self.pool.serial,
+                selection_cache=self.config.selection_cache,
                 draining=self._draining,
             )
         if op == "health":
@@ -384,6 +478,7 @@ class PhastService:
             req_id,
             metrics=self.metrics.snapshot(
                 admission=self.admission.snapshot(),
+                selection_cache=self.selections.snapshot(),
                 pool={
                     "workers": self.pool.num_workers,
                     "serial": self.pool.serial,
@@ -431,24 +526,35 @@ class PhastService:
         deadline = self._deadline(msg)
         if op == "query":
             return await self._run_query(req_id, msg, deadline)
+        if op == "matrix":
+            return await self._run_matrix(req_id, msg, deadline)
         source = _require_int(msg, "source", lo=0, hi=self.n)
         if op == "tree":
             finalize = _finalize_tree
         elif op == "one_to_many":
-            targets = msg.get("targets")
-            if (not isinstance(targets, list) or not targets
-                    or not all(isinstance(t, int) and not isinstance(t, bool)
-                               and 0 <= t < self.n for t in targets)):
-                raise _BadRequest(
-                    f"'targets' must be a non-empty list of vertex ids "
-                    f"in [0, {self.n})"
-                )
+            targets = _require_vertex_list(msg, "targets", self.n)
             idx = np.asarray(targets, dtype=np.int64)
             finalize = lambda row, idx=idx: {"dist": row[idx].tolist()}
         else:  # isochrone
             budget = _require_int(msg, "budget", lo=0)
             finalize = lambda row, budget=budget: _finalize_isochrone(row, budget)
         request = SweepRequest(op, source, finalize, deadline=deadline)
+        self.batcher.submit(request)
+        payload = await request.future
+        return protocol.ok_response(req_id, **payload)
+
+    async def _run_matrix(self, req_id, msg: dict, deadline) -> dict:
+        sources = _require_vertex_list(msg, "sources", self.n)
+        targets = _require_vertex_list(msg, "targets", self.n)
+        backend = msg.get("backend", "rphast")
+        if backend not in MATRIX_BACKENDS:
+            raise _BadRequest(
+                f"unknown matrix backend {backend!r}; known: {MATRIX_BACKENDS}"
+            )
+        request = SweepRequest(
+            "matrix", -1, None, deadline=deadline,
+            execute=lambda: self._matrix_payload(sources, targets, backend),
+        )
         self.batcher.submit(request)
         payload = await request.future
         return protocol.ok_response(req_id, **payload)
