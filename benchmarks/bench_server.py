@@ -42,13 +42,27 @@ its tail latency is the price of one worker death.  Every request
 must still be answered (the load generator treats any failure as a
 bench failure).
 
+Two further experiments exercise the front-door router
+(``repro.router``).  The *router sweep* reruns the closed-loop load
+against a router fronting 1 and then 2 in-thread replicas: the
+1-replica point prices the router hop itself (same workload straight
+at a replica vs through the front door), the 2-replica point shows
+the fan-out plus the affinity hit rate the consistent-hash routing
+sustains.  The *router availability* run is the acceptance scenario:
+two spawned ``repro serve`` subprocess replicas behind the router,
+steady load with every answer checked against a precomputed
+reference, one replica SIGKILLed a third of the way in and
+restarted/readmitted two thirds in — recorded: availability (must be
+>= 99%), wrong answers (must be zero), and per-phase tails.
+
 Environment knobs: ``REPRO_BENCH_SERVER_CLIENTS`` (comma-separated
 thread counts, default ``1,2,4,8``), ``REPRO_BENCH_SERVER_PIPELINE``
 (in-flight requests per client, default 8),
 ``REPRO_BENCH_SERVER_DEPOTS`` (hot-origin set size, default 8),
 ``REPRO_BENCH_SERVER_SECONDS`` (measurement window per point, default
-2.0), ``REPRO_BENCH_SCALE`` (instance size, shared with the other
-benches).
+2.0), ``REPRO_BENCH_ROUTER_REPLICAS`` (comma-separated replica
+counts for the router sweep, default ``1,2``), ``REPRO_BENCH_SCALE``
+(instance size, shared with the other benches).
 
 Results go to ``BENCH_server.json``.
 """
@@ -57,7 +71,9 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import signal
+import tempfile
 import threading
 import time
 from pathlib import Path
@@ -65,6 +81,9 @@ from pathlib import Path
 import numpy as np
 
 from common import fmt, load_instance, print_table
+from repro.core import PhastEngine
+from repro.graph import save_graph, save_hierarchy
+from repro.router import PhastRouter, ReplicaManager, RouterConfig, route_in_thread
 from repro.server import PhastService, ServerClient, ServerConfig, serve_in_thread
 from repro.server import protocol
 from repro.utils import LatencyHistogram
@@ -98,6 +117,11 @@ def _depot_count() -> int:
 def _measure_seconds() -> float:
     raw = os.environ.get("REPRO_BENCH_SERVER_SECONDS", "").strip()
     return float(raw) if raw else DEFAULT_SECONDS
+
+
+def _router_replica_counts() -> list[int]:
+    raw = os.environ.get("REPRO_BENCH_ROUTER_REPLICAS", "").strip()
+    return [int(x) for x in (raw or "1,2").split(",")]
 
 
 def _drive(handle, n: int, depots: list[int], threads: int, seconds: float,
@@ -268,6 +292,162 @@ def _availability_run(ch, graph, *, seconds: float, pipeline: int,
     }
 
 
+def _router_sweep(ch, graph, *, loads: list[int], seconds: float,
+                  pipeline: int, depots: list[int],
+                  replica_counts: list[int]) -> dict:
+    """Throughput/p99 through the router at 1..k in-thread replicas.
+
+    The same ``_drive`` generator works unchanged — the router speaks
+    the replica protocol on its public port.
+    """
+    out: dict = {"replica_counts": {}}
+    config = ServerConfig(
+        batch_max=BATCH_MAX, max_wait_ms=MAX_WAIT_MS, max_pending=4096,
+    )
+    for count in replica_counts:
+        handles = [
+            serve_in_thread(PhastService(ch, graph=graph, config=config))
+            for _ in range(count)
+        ]
+        router = PhastRouter(RouterConfig(probe_interval_ms=100.0))
+        for handle in handles:
+            router.add_replica(handle.host, handle.port)
+        try:
+            with route_in_thread(router) as rh:
+                with ServerClient(rh.host, rh.port) as probe:
+                    n = probe.info()["n"]
+                _drive(rh, n, depots, 2, min(0.25, seconds), pipeline)  # warm
+                points = [
+                    _drive(rh, n, depots, threads, seconds, pipeline)
+                    for threads in loads
+                ]
+                with ServerClient(rh.host, rh.port) as probe:
+                    metrics = probe.metrics()
+        finally:
+            for handle in handles:
+                handle.stop()
+        out["replica_counts"][str(count)] = {
+            "points": points,
+            "affinity": metrics["affinity"],
+            "forwarded": metrics["forwarded"],
+        }
+    return out
+
+
+def _router_availability(inst, *, seconds: float, depots: list[int]) -> dict:
+    """The acceptance run: kill one of two subprocess replicas under
+    checked load, then restart and readmit it — availability >= 99%,
+    zero wrong answers."""
+    engine = PhastEngine(inst.ch)
+    reference = {d: engine.tree(d).dist for d in depots}
+    workdir = tempfile.mkdtemp(prefix="repro-router-bench-")
+    graph_path = os.path.join(workdir, "g.npz")
+    ch_path = os.path.join(workdir, "g.ch.npz")
+    save_graph(inst.graph, graph_path)
+    save_hierarchy(inst.ch, ch_path)
+
+    manager = ReplicaManager()
+    router = PhastRouter(RouterConfig(
+        probe_interval_ms=50.0, warmup_ms=500.0, down_after=2,
+    ))
+    phase_stats = {
+        name: {"ok": 0, "failed": 0, "wrong": 0, "hist": LatencyHistogram()}
+        for name in ("before", "during", "after")
+    }
+    lock = threading.Lock()
+    events: dict[str, float] = {}
+    try:
+        victim, _survivor = (manager.spawn(graph_path, ch_path)
+                             for _ in range(2))
+        for managed in manager.replicas.values():
+            router.add_replica(managed.host, managed.port)
+        with route_in_thread(router) as rh:
+            start = time.monotonic()
+            kill_at = start + seconds
+            restart_at = start + 2 * seconds
+            stop_at = start + 3 * seconds
+
+            def phase_of(now: float) -> str:
+                if now < kill_at:
+                    return "before"
+                return "during" if now < restart_at else "after"
+
+            def load(tid: int) -> None:
+                rng = np.random.default_rng(2000 + tid)
+                n = inst.graph.n
+                with ServerClient(rh.host, rh.port) as c:
+                    while time.monotonic() < stop_at:
+                        depot = depots[int(rng.integers(len(depots)))]
+                        targets = rng.integers(
+                            n, size=TARGETS_PER_REQUEST
+                        ).tolist()
+                        t0 = time.perf_counter()
+                        try:
+                            got = c.one_to_many(depot, targets)
+                        except Exception:
+                            outcome = "failed"
+                        else:
+                            want = reference[depot][targets]
+                            outcome = ("ok" if np.array_equal(got, want)
+                                       else "wrong")
+                        dt = time.perf_counter() - t0
+                        with lock:
+                            stats = phase_stats[phase_of(time.monotonic())]
+                            stats[outcome] += 1
+                            stats["hist"].observe(dt)
+
+            def chaos() -> None:
+                time.sleep(max(0.0, kill_at - time.monotonic()))
+                os.kill(manager.replicas[victim].proc.pid, signal.SIGKILL)
+                events["killed_s"] = round(time.monotonic() - start, 3)
+                time.sleep(max(0.0, restart_at - time.monotonic()))
+                manager.stop(victim)  # reap the corpse
+                manager.restart(victim)
+                rh.readmit(victim)
+                events["readmitted_s"] = round(time.monotonic() - start, 3)
+
+            loaders = [threading.Thread(target=load, args=(tid,))
+                       for tid in range(2)]
+            chaos_thread = threading.Thread(target=chaos)
+            for t in loaders + [chaos_thread]:
+                t.start()
+            for t in loaders + [chaos_thread]:
+                t.join()
+            with ServerClient(rh.host, rh.port) as probe:
+                health = probe.health()
+                metrics = probe.metrics()
+    finally:
+        manager.stop_all()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    totals = {k: sum(s[k] for s in phase_stats.values())
+              for k in ("ok", "failed", "wrong")}
+    answered = totals["ok"] + totals["failed"] + totals["wrong"]
+    phases = {}
+    for name, stats in phase_stats.items():
+        summary = stats["hist"].summary()
+        phases[name] = {
+            "ok": stats["ok"],
+            "failed": stats["failed"],
+            "wrong": stats["wrong"],
+            "p50_ms": summary.get("p50_ms", 0.0),
+            "p99_ms": summary.get("p99_ms", 0.0),
+        }
+    return {
+        "replicas": 2,
+        "requests": answered,
+        "availability": round(totals["ok"] / answered, 5) if answered else 0.0,
+        "wrong_answers": totals["wrong"],
+        "failed_requests": totals["failed"],
+        "events": events,
+        "phases": phases,
+        "victim_state_after": health["replicas"][victim]["state"],
+        "victim_generation": health["replicas"][victim]["generation"],
+        "failovers": metrics["affinity"]["failovers"],
+        "transitions": metrics["transitions"]["counts"],
+    }
+
+
 def run(quiet: bool = False) -> dict:
     loads = _client_loads()
     seconds = _measure_seconds()
@@ -310,6 +490,14 @@ def run(quiet: bool = False) -> dict:
         ch, graph, seconds=seconds, pipeline=pipeline, depots=depots
     )
 
+    record["router"] = _router_sweep(
+        ch, graph, loads=loads, seconds=seconds, pipeline=pipeline,
+        depots=depots, replica_counts=_router_replica_counts(),
+    )
+    record["router_availability"] = _router_availability(
+        inst, seconds=seconds, depots=depots
+    )
+
     on = record["modes"]["batching_on"]["points"]
     off = record["modes"]["batching_off"]["points"]
     record["speedup_by_load"] = {
@@ -324,6 +512,19 @@ def run(quiet: bool = False) -> dict:
             "single-CPU host: the batching gain is level-loop "
             "amortization (alpha / k) plus same-source lane "
             "coalescing, with no extra cores involved"
+        )
+    direct_top = on[-1]["throughput_rps"]
+    router_counts = record["router"]["replica_counts"]
+    if "1" in router_counts:
+        routed_top = router_counts["1"]["points"][-1]["throughput_rps"]
+        record["router"]["hop_overhead_at_top_load"] = round(
+            direct_top / routed_top, 2
+        ) if routed_top else None
+    if (os.cpu_count() or 1) <= 2:
+        record["notes"].append(
+            "few-CPU host: router replicas share cores with each other "
+            "and the load generator, so the sweep prices the hop and "
+            "the affinity behaviour, not replica scaling"
         )
 
     if not quiet:
@@ -367,6 +568,53 @@ def run(quiet: bool = False) -> dict:
             f"({avail['restarts']} restart(s), "
             f"{avail['chunk_retries']} chunk retr{'y' if avail['chunk_retries'] == 1 else 'ies'}); "
             f"status after: {avail['status_after']}"
+        )
+        rows = []
+        for count, mode in sorted(record["router"]["replica_counts"].items(),
+                                  key=lambda kv: int(kv[0])):
+            top = mode["points"][-1]
+            hit_rate = mode["affinity"]["hit_rate"]
+            rows.append([
+                count,
+                fmt(top["throughput_rps"], 0),
+                fmt(top["p50_ms"], 2),
+                fmt(top["p99_ms"], 2),
+                "-" if hit_rate is None else f"{hit_rate:.3f}",
+                mode["affinity"]["spills"],
+            ])
+        print_table(
+            f"router sweep at {loads[-1]} clients (in-thread replicas)",
+            ["replicas", "req/s", "p50 ms", "p99 ms", "affinity hit", "spills"],
+            rows,
+        )
+        if record["router"].get("hop_overhead_at_top_load"):
+            print(
+                "router hop overhead at top load: "
+                f"{record['router']['hop_overhead_at_top_load']}x "
+                "(direct rps / routed rps, 1 replica)"
+            )
+        ravail = record["router_availability"]
+        print_table(
+            "router availability through one replica SIGKILL "
+            "(2 spawned replicas, every answer checked)",
+            ["phase", "ok", "failed", "wrong", "p50 ms", "p99 ms"],
+            [
+                [name,
+                 ravail["phases"][name]["ok"],
+                 ravail["phases"][name]["failed"],
+                 ravail["phases"][name]["wrong"],
+                 fmt(ravail["phases"][name]["p50_ms"], 2),
+                 fmt(ravail["phases"][name]["p99_ms"], 2)]
+                for name in ("before", "during", "after")
+            ],
+        )
+        print(
+            f"availability: {ravail['availability'] * 100:.2f}% over "
+            f"{ravail['requests']} checked requests, "
+            f"{ravail['wrong_answers']} wrong, "
+            f"{ravail['failovers']} failover(s); victim "
+            f"{ravail['victim_state_after']} at generation "
+            f"{ravail['victim_generation']} after readmission"
         )
         for note in record["notes"]:
             print(f"note: {note}")

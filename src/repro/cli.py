@@ -11,6 +11,7 @@ subcommands::
     python -m repro stats map.npz map.ch.npz
     python -m repro convert map.gr -o map.npz        # DIMACS import
     python -m repro serve map.npz map.ch.npz --port 7171
+    python -m repro route map.npz map.ch.npz --replicas 2 --port 7170
     python -m repro client --port 7171 --op query --source 0 --target 4095
     python -m repro doctor --unlink                  # reap orphaned shm
 
@@ -368,6 +369,124 @@ def _cmd_client(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_route(args: argparse.Namespace) -> int:
+    """Front-door router over N serve replicas (spawned and/or adopted).
+
+    SIGINT/SIGTERM drain the router, then stop spawned replicas
+    gracefully.  SIGHUP triggers a rolling drain/restart of every
+    spawned replica — a zero-downtime redeploy — while the router
+    keeps serving from the others.
+    """
+    import asyncio
+    import signal
+    import threading
+
+    from .router import PhastRouter, ReplicaManager, RouterConfig
+
+    attach = [s.strip() for s in (args.attach or "").split(",") if s.strip()]
+    if args.replicas < 1 and not attach:
+        raise ValueError("need --replicas >= 1 (with graph + hierarchy) "
+                         "or --attach host:port[,host:port...]")
+    if args.replicas >= 1 and (args.graph is None or args.hierarchy is None):
+        raise ValueError("spawning replicas requires graph and hierarchy "
+                         "artifact paths")
+    manager = ReplicaManager()
+    try:
+        for i in range(args.replicas):
+            port = 0 if args.replica_port == 0 else args.replica_port + i
+            name = manager.spawn(
+                args.graph, args.hierarchy, host="127.0.0.1", port=port,
+                workers=args.workers, force_pool=args.force_pool,
+                extra_args=tuple(args.serve_arg or ()),
+            )
+            print(f"replica {name} ready", flush=True)
+        for spec in attach:
+            host, _, port_s = spec.rpartition(":")
+            if not host or not port_s.isdigit():
+                raise ValueError(f"--attach entry {spec!r} is not host:port")
+            manager.adopt(host, int(port_s))
+            print(f"replica {spec} adopted", flush=True)
+
+        config = RouterConfig(
+            host=args.host, port=args.port,
+            probe_interval_ms=args.probe_interval_ms,
+            warmup_ms=args.warmup_ms,
+        )
+        router = PhastRouter(config)
+        for managed in manager.replicas.values():
+            router.add_replica(managed.host, managed.port)
+
+        async def _route() -> None:
+            await router.start()
+            print(
+                f"routing on {router.host}:{router.port} -> "
+                f"{len(router.replicas)} replica(s): "
+                f"{', '.join(router.replicas)}",
+                flush=True,
+            )
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(
+                        sig, lambda: asyncio.ensure_future(router.drain())
+                    )
+                except (NotImplementedError, RuntimeError):
+                    pass
+
+            class _Ctl:
+                """Blocking rotation control from the restart thread."""
+
+                @staticmethod
+                def hold_out(name: str) -> None:
+                    asyncio.run_coroutine_threadsafe(
+                        router.hold_out(name), loop
+                    ).result(300)
+
+                @staticmethod
+                def readmit(name: str) -> None:
+                    asyncio.run_coroutine_threadsafe(
+                        router.readmit(name), loop
+                    ).result(300)
+
+            restart_gate = threading.Lock()
+
+            def _rolling() -> None:
+                if not restart_gate.acquire(blocking=False):
+                    return  # one rolling restart at a time
+                try:
+                    restarted = manager.rolling_restart(_Ctl())
+                    print(f"rolling restart done: {', '.join(restarted)}",
+                          flush=True)
+                except Exception as exc:
+                    print(f"rolling restart failed: {exc}", flush=True)
+                finally:
+                    restart_gate.release()
+
+            try:
+                loop.add_signal_handler(
+                    signal.SIGHUP,
+                    lambda: threading.Thread(target=_rolling,
+                                             daemon=True).start(),
+                )
+            except (NotImplementedError, RuntimeError, AttributeError):
+                pass
+            await router.wait_drained()
+            snap = router.metrics.snapshot()
+            total = sum(snap["requests_total"].values())
+            affinity = snap["affinity"]
+            print(
+                f"drained: {total} requests routed, "
+                f"affinity hit rate {affinity['hit_rate']}, "
+                f"{affinity['failovers']} failover(s)",
+                flush=True,
+            )
+
+        asyncio.run(_route())
+    finally:
+        manager.stop_all()
+    return 0
+
+
 def _cmd_doctor(args: argparse.Namespace) -> int:
     """Inspect (and optionally reap) pool shared-memory segments.
 
@@ -441,7 +560,12 @@ def _client_burst(args: argparse.Namespace) -> int:
                       connect_retry_s=args.wait_ready) as probe:
         n = probe.info()["n"]
     per_thread = -(-args.burst // args.threads)
-    hists = [LatencyHistogram() for _ in range(args.threads)]
+    # Per-thread, per-op histograms: against a router, aggregate
+    # latency hides which op pays the forwarding hop — the breakdown
+    # makes router-vs-direct overhead attributable per op.
+    hists: list[dict[str, LatencyHistogram]] = [
+        {op: LatencyHistogram() for op in ops} for _ in range(args.threads)
+    ]
     failures: list[str] = []
 
     def worker(tid: int) -> None:
@@ -472,7 +596,7 @@ def _client_burst(args: argparse.Namespace) -> int:
                         )
                     else:
                         client.isochrone(s, int(rng.integers(1, 10_000)))
-                    hists[tid].observe(time.perf_counter() - t0)
+                    hists[tid][op].observe(time.perf_counter() - t0)
         except (ServerError, ConnectionError, OSError) as exc:
             failures.append(f"thread {tid}: {exc}")
 
@@ -487,14 +611,25 @@ def _client_burst(args: argparse.Namespace) -> int:
         t.join()
     elapsed = time.perf_counter() - t0
     total = LatencyHistogram()
-    for h in hists:
-        total.merge(h)
+    per_op = {op: LatencyHistogram() for op in ops}
+    for per_thread_hists in hists:
+        for op, h in per_thread_hists.items():
+            total.merge(h)
+            per_op[op].merge(h)
     summary = total.summary()
     print(
         f"{total.count} requests ({args.threads} threads, mix {','.join(ops)}) "
         f"in {elapsed:.2f}s: {total.count / elapsed:.1f} req/s, "
         f"p50 {summary.get('p50_ms', 0)} ms, p99 {summary.get('p99_ms', 0)} ms"
     )
+    for op in ops:
+        s = per_op[op].summary()
+        if per_op[op].count:
+            print(
+                f"  {op}: {per_op[op].count} reqs, "
+                f"p50 {s.get('p50_ms', 0)} ms, p99 {s.get('p99_ms', 0)} ms, "
+                f"mean {s.get('mean_ms', 0)} ms"
+            )
     if failures:
         for line in failures:
             print(f"error: {line}", file=sys.stderr)
@@ -620,6 +755,39 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--selection-cache", type=int, default=32,
                     help="LRU capacity for RPHAST matrix selections")
     sv.set_defaults(func=_cmd_serve)
+
+    rt = sub.add_parser(
+        "route",
+        help="front-door router: one public port over N serve replicas",
+    )
+    rt.add_argument("graph", nargs="?",
+                    help="graph artifact for spawned replicas")
+    rt.add_argument("hierarchy", nargs="?",
+                    help="hierarchy artifact for spawned replicas")
+    rt.add_argument("--host", default="127.0.0.1")
+    rt.add_argument("--port", type=int, default=7170,
+                    help="router TCP port (0 = ephemeral)")
+    rt.add_argument("--replicas", type=int, default=0,
+                    help="spawn this many repro serve replicas over the "
+                    "artifacts")
+    rt.add_argument("--replica-port", type=int, default=0,
+                    help="base port for spawned replicas, +1 per replica "
+                    "(0 = ephemeral ports)")
+    rt.add_argument("--attach",
+                    help="comma-separated host:port replicas to adopt "
+                    "instead of (or besides) spawning")
+    rt.add_argument("--workers", type=int, default=1,
+                    help="pool workers per spawned replica")
+    rt.add_argument("--force-pool", action="store_true",
+                    help="replica pools spawn workers even on 1 CPU")
+    rt.add_argument("--serve-arg", action="append", metavar="ARG",
+                    help="extra argument passed through to each spawned "
+                    "replica's serve command (repeatable)")
+    rt.add_argument("--probe-interval-ms", type=float, default=200.0,
+                    help="replica health-probe period")
+    rt.add_argument("--warmup-ms", type=float, default=2000.0,
+                    help="traffic ramp for a replica re-entering rotation")
+    rt.set_defaults(func=_cmd_route)
 
     cl = sub.add_parser("client", help="query a running repro server")
     cl.add_argument("--host", default="127.0.0.1")

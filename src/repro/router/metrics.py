@@ -1,0 +1,152 @@
+"""Router-level accounting.
+
+Everything the router knows that no single replica can: where traffic
+went (per-replica rps), how often affinity held (hit rate), how often
+the home replica was out of rotation (spill rate), how many forwards
+had to be retried on a different replica (failovers), and every
+health-state transition with a monotonic timestamp.
+
+All mutation happens on the router's event loop, so no locking is
+needed; ``snapshot()`` is called from the loop too (the ``metrics``
+op handler).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["RouterMetrics"]
+
+#: Sliding-window length for per-replica rps (two half-buckets).
+_RPS_WINDOW_S = 10.0
+#: Transitions kept verbatim in the snapshot (counters never drop).
+_TRANSITION_LOG = 50
+
+
+class _RateCounter:
+    """O(1) sliding-window rate: two half-window buckets."""
+
+    def __init__(self, window_s: float = _RPS_WINDOW_S) -> None:
+        self.half = window_s / 2.0
+        self._epoch = 0
+        self._cur = 0
+        self._prev = 0
+        self._started = time.monotonic()
+
+    def _roll(self, now: float) -> None:
+        epoch = int((now - self._started) / self.half)
+        if epoch == self._epoch:
+            return
+        self._prev = self._cur if epoch == self._epoch + 1 else 0
+        self._cur = 0
+        self._epoch = epoch
+
+    def record(self) -> None:
+        self._roll(time.monotonic())
+        self._cur += 1
+
+    def rate(self) -> float:
+        now = time.monotonic()
+        self._roll(now)
+        # Weight the previous bucket by how much of it is still inside
+        # the window, so the estimate doesn't sawtooth on bucket edges.
+        into = (now - self._started) - self._epoch * self.half
+        span = min(now - self._started, self.half + into)
+        return (self._cur + self._prev) / span if span > 0 else 0.0
+
+
+class RouterMetrics:
+    """Aggregated statistics for one :class:`PhastRouter`."""
+
+    def __init__(self) -> None:
+        self.started_at = time.monotonic()
+        self.requests: dict[str, int] = {}          # op -> count
+        self.errors: dict[str, int] = {}            # code -> count
+        self.forwarded: dict[str, int] = {}         # replica -> count
+        self.replica_errors: dict[str, int] = {}    # replica -> count
+        self._rates: dict[str, _RateCounter] = {}
+        self.affinity_hits = 0
+        self.affinity_total = 0
+        self.spills = 0          # routed off the home replica
+        self.failovers = 0       # re-sent after a failed attempt
+        self.warm_deferred = 0   # skipped a warming home on purpose
+        self.transitions: dict[str, int] = {}       # "from->to" -> count
+        self.transition_log: list[dict] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def record_request(self, op: str) -> None:
+        self.requests[op] = self.requests.get(op, 0) + 1
+
+    def record_error(self, code: int) -> None:
+        key = str(code)
+        self.errors[key] = self.errors.get(key, 0) + 1
+
+    def record_forward(self, replica: str) -> None:
+        self.forwarded[replica] = self.forwarded.get(replica, 0) + 1
+        rate = self._rates.get(replica)
+        if rate is None:
+            rate = self._rates[replica] = _RateCounter()
+        rate.record()
+
+    def record_replica_error(self, replica: str) -> None:
+        self.replica_errors[replica] = self.replica_errors.get(replica, 0) + 1
+
+    def record_routing(self, *, hit: bool, spilled: bool,
+                       failovers: int, warm_deferred: bool) -> None:
+        """One routed work request's affinity outcome."""
+        self.affinity_total += 1
+        if hit:
+            self.affinity_hits += 1
+        if spilled:
+            self.spills += 1
+        if warm_deferred:
+            self.warm_deferred += 1
+        self.failovers += failovers
+
+    def record_transition(self, replica: str, old: str, new: str) -> None:
+        key = f"{old}->{new}"
+        self.transitions[key] = self.transitions.get(key, 0) + 1
+        self.transition_log.append({
+            "t_s": round(time.monotonic() - self.started_at, 3),
+            "replica": replica,
+            "from": old,
+            "to": new,
+        })
+        del self.transition_log[:-_TRANSITION_LOG]
+
+    # -- reporting ---------------------------------------------------------
+
+    def replica_rps(self, replica: str) -> float:
+        rate = self._rates.get(replica)
+        return round(rate.rate(), 2) if rate is not None else 0.0
+
+    def snapshot(self, replicas: dict | None = None) -> dict:
+        """JSON-able view (the ``metrics`` op payload)."""
+        total = self.affinity_total
+        snap = {
+            "router": True,
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "requests_total": dict(self.requests),
+            "errors_total": dict(self.errors),
+            "forwarded": dict(self.forwarded),
+            "replica_rps": {
+                name: self.replica_rps(name) for name in self._rates
+            },
+            "affinity": {
+                "hits": self.affinity_hits,
+                "total": total,
+                "hit_rate": round(self.affinity_hits / total, 4) if total else None,
+                "spills": self.spills,
+                "spill_rate": round(self.spills / total, 4) if total else None,
+                "failovers": self.failovers,
+                "warm_deferred": self.warm_deferred,
+            },
+            "transitions": {
+                "counts": dict(self.transitions),
+                "recent": list(self.transition_log),
+            },
+        }
+        if replicas is not None:
+            snap["replicas"] = replicas
+        return snap

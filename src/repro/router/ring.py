@@ -1,0 +1,108 @@
+"""Consistent hashing with virtual nodes.
+
+The router's affinity contract is *stability*: a query source (or a
+matrix target-set hash) should keep landing on the same replica so
+that replica's caches stay hot, and a replica joining or leaving
+should remap only ~1/N of the key space instead of reshuffling
+everything (a modulo scheme would cold-miss every cache on every
+membership change).
+
+Classic Karger-style ring: each member owns ``vnodes`` points on a
+2^64 circle (blake2b of ``"name#i"``); a key routes to the first
+member point at or clockwise-after its own hash.  ``preference()``
+returns *all* members in ring order from the key's position — the
+router walks that list for failover, so the spill target of a key is
+as stable as its home.
+
+Members are never removed on failure — a down replica merely gets
+skipped at dispatch time.  Removal is reserved for topology changes
+(a replica permanently leaving), which keeps transient failures from
+churning every key's home.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+__all__ = ["HashRing"]
+
+
+def _point(data: str) -> int:
+    return int.from_bytes(
+        hashlib.blake2b(data.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+class HashRing:
+    """Stable key → member assignment over a mutable member set."""
+
+    def __init__(self, vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = int(vnodes)
+        self._points: list[int] = []        # sorted vnode hashes
+        self._owner: dict[int, str] = {}    # vnode hash -> member name
+        self._members: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._members
+
+    @property
+    def members(self) -> frozenset[str]:
+        return frozenset(self._members)
+
+    def add(self, name: str) -> None:
+        """Add a member (idempotent)."""
+        if name in self._members:
+            return
+        self._members.add(name)
+        for i in range(self.vnodes):
+            h = _point(f"{name}#{i}")
+            # A 64-bit collision across members is ~impossible at the
+            # scales here; first owner wins so add order can't flip an
+            # existing assignment.
+            if h not in self._owner:
+                self._owner[h] = name
+                bisect.insort(self._points, h)
+
+    def remove(self, name: str) -> None:
+        """Remove a member (idempotent)."""
+        if name not in self._members:
+            return
+        self._members.discard(name)
+        dead = [h for h, owner in self._owner.items() if owner == name]
+        for h in dead:
+            del self._owner[h]
+            idx = bisect.bisect_left(self._points, h)
+            del self._points[idx]
+
+    def primary(self, key: str) -> str | None:
+        """The key's home member, or ``None`` on an empty ring."""
+        order = self.preference(key, limit=1)
+        return order[0] if order else None
+
+    def preference(self, key: str, limit: int | None = None) -> list[str]:
+        """Distinct members in ring order starting at ``key``'s hash.
+
+        Element 0 is the key's *home*; the rest are its failover
+        order, equally stable under membership changes elsewhere on
+        the ring.
+        """
+        if not self._points:
+            return []
+        want = len(self._members) if limit is None else min(limit, len(self._members))
+        start = bisect.bisect_right(self._points, _point(key))
+        order: list[str] = []
+        seen: set[str] = set()
+        for i in range(len(self._points)):
+            owner = self._owner[self._points[(start + i) % len(self._points)]]
+            if owner not in seen:
+                seen.add(owner)
+                order.append(owner)
+                if len(order) >= want:
+                    break
+        return order

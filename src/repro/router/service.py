@@ -1,0 +1,571 @@
+"""The asyncio front-door router.
+
+One :class:`PhastRouter` process owns the public TCP port.  It speaks
+the same length-prefixed JSON protocol as :class:`PhastService` on
+both sides — clients connect to it exactly as they would to a single
+replica, and it holds one multiplexed connection per replica.
+
+Request flow for the five work ops::
+
+    client frame ──> affinity key ──> ring preference ──> first
+    routable replica (warm-up thinning applied) ──> forward with a
+    rewritten id ──> response, id restored ──> client
+
+Failover is per request: a transport error or a retryable error
+envelope (429 shed, 500 quarantine, 503 broken/draining) sends the
+request to the next replica on the *same key's* ring order — every
+work op is a pure read over artifacts all replicas share, so a retry
+can only repeat the answer.  Non-retryable envelopes (400 bad
+request, 504 deadline) pass through untouched.
+
+Health is double-sourced, exactly the PR 4 signals: a periodic
+``health`` probe per replica (liveness, readiness, capacity, and the
+generation fields — pid + ``uptime_seconds`` — that expose restarts)
+plus per-request transport accounting.  A replica that fails
+``down_after`` times in a row is held out; one that comes back enters
+through a warm-up ramp so its cold caches are not slammed at full
+fair share.
+
+Admin ops are answered at the router: ``ping`` locally, ``health`` /
+``metrics`` with router-level aggregates (per-replica state and rps,
+affinity hit rate, spill rate, transitions), ``info`` proxied from a
+live replica and annotated with the topology — so ``ServerClient``
+and ``repro client`` work unmodified.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass
+
+from ..server import protocol
+from .metrics import RouterMetrics
+from .replica import ACTIVE, DRAINING, WARMING, Replica
+from .ring import HashRing
+
+__all__ = ["RouterConfig", "PhastRouter", "RouterHandle", "route_in_thread"]
+
+#: Ops forwarded to replicas (identical to the service's WORK_OPS).
+WORK_OPS = ("query", "tree", "one_to_many", "isochrone", "matrix")
+#: Ops answered at the router.
+ADMIN_OPS = ("ping", "info", "metrics", "health")
+
+#: Error codes worth retrying on a different replica: the home shed
+#: (429), quarantined the chunk (500), or is draining/broken (503).
+#: 400 and 504 are the request's own fault and pass through.
+RETRYABLE_CODES = (protocol.OVERLOADED, protocol.INTERNAL,
+                   protocol.UNAVAILABLE)
+
+
+@dataclass
+class RouterConfig:
+    """Tunables of one router instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 7170
+    #: Health-probe period per replica.
+    probe_interval_ms: float = 200.0
+    #: Per-probe response bound.
+    probe_timeout_ms: float = 2_000.0
+    #: Consecutive failures (probe or per-request) before ``down``.
+    down_after: int = 3
+    #: Ramp duration for a replica re-entering rotation.
+    warmup_ms: float = 2_000.0
+    #: Router-side wait for a forwarded request that carries no
+    #: deadline of its own.
+    forward_timeout_ms: float = 30_000.0
+    #: Extra wait on top of a request's own ``timeout_ms`` — lets the
+    #: replica's 504 arrive and pass through instead of racing it.
+    forward_grace_ms: float = 1_000.0
+    #: Distinct replicas tried per request before giving up.
+    max_attempts: int = 3
+    #: Virtual nodes per replica on the hash ring.
+    vnodes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.probe_interval_ms <= 0:
+            raise ValueError("probe_interval_ms must be > 0")
+        if self.probe_timeout_ms <= 0:
+            raise ValueError("probe_timeout_ms must be > 0")
+        if self.down_after < 1:
+            raise ValueError("down_after must be >= 1")
+        if self.warmup_ms < 0:
+            raise ValueError("warmup_ms must be >= 0")
+        if self.forward_timeout_ms <= 0:
+            raise ValueError("forward_timeout_ms must be > 0")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+
+
+class PhastRouter:
+    """A front door fanning one public port out to N replicas."""
+
+    def __init__(self, config: RouterConfig | None = None) -> None:
+        self.config = config or RouterConfig()
+        self.metrics = RouterMetrics()
+        self.ring = HashRing(vnodes=self.config.vnodes)
+        self.replicas: dict[str, Replica] = {}
+        self._server: asyncio.base_events.Server | None = None
+        self._probe_task: asyncio.Task | None = None
+        self._tasks: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._draining = False
+        self._drained: asyncio.Event | None = None
+        self._drain_task: asyncio.Task | None = None
+        self.host = self.config.host
+        self.port = self.config.port
+
+    # -- topology ----------------------------------------------------------
+
+    def add_replica(self, host: str, port: int, *,
+                    name: str | None = None) -> str:
+        """Register a replica endpoint (before or after ``start``)."""
+        name = name or f"{host}:{int(port)}"
+        if name in self.replicas:
+            raise ValueError(f"replica {name} already registered")
+        self.replicas[name] = Replica(
+            name, host, int(port),
+            down_after=self.config.down_after,
+            warmup_s=self.config.warmup_ms / 1e3,
+            on_transition=self.metrics.record_transition,
+        )
+        self.ring.add(name)
+        return name
+
+    async def remove_replica(self, name: str) -> None:
+        """Drop a replica from the topology entirely."""
+        rep = self.replicas.pop(name)
+        self.ring.remove(name)
+        await rep.link.close()
+
+    async def hold_out(self, name: str, *, timeout: float = 60.0) -> None:
+        """Take a replica out of rotation and wait out its in-flight work.
+
+        Returns only when the router holds zero requests against the
+        replica — the point at which a SIGTERM drain of the replica
+        cannot lose a routed request.
+        """
+        rep = self.replicas[name]
+        rep.hold_out()
+        deadline = time.monotonic() + timeout
+        while rep.inflight > 0:
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"replica {name} still has {rep.inflight} in-flight "
+                    f"requests after {timeout}s"
+                )
+            await asyncio.sleep(0.01)
+
+    async def readmit(self, name: str) -> None:
+        """Return a held-out replica to rotation through the warm ramp."""
+        rep = self.replicas[name]
+        await rep.link.close()  # the old process's connection is stale
+        rep.readmit()
+        await self._probe_one(rep)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self, *, host: str | None = None,
+                    port: int | None = None) -> None:
+        """Probe every replica once, then bind and serve."""
+        if not self.replicas:
+            raise RuntimeError("router has no replicas to route to")
+        self._drained = asyncio.Event()
+        await self._probe_all()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host if host is not None else self.config.host,
+            port if port is not None else self.config.port,
+        )
+        sock = self._server.sockets[0].getsockname()
+        self.host, self.port = sock[0], sock[1]
+        self._probe_task = asyncio.get_running_loop().create_task(
+            self._probe_loop()
+        )
+
+    async def drain(self) -> None:
+        """Stop accepting, finish in-flight forwards, close links."""
+        if self._drain_task is None:
+            self._drain_task = asyncio.get_running_loop().create_task(
+                self._drain_impl()
+            )
+        await asyncio.shield(self._drain_task)
+
+    async def _drain_impl(self) -> None:
+        self._draining = True
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            try:
+                await self._probe_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+        for rep in self.replicas.values():
+            await rep.link.close()
+        for writer in list(self._writers):
+            writer.close()
+        self._drained.set()
+
+    async def wait_drained(self) -> None:
+        await self._drained.wait()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- health probing ----------------------------------------------------
+
+    async def _probe_loop(self) -> None:
+        period = self.config.probe_interval_ms / 1e3
+        while True:
+            await asyncio.sleep(period)
+            await self._probe_all()
+
+    async def _probe_all(self) -> None:
+        reps = list(self.replicas.values())
+        if reps:
+            await asyncio.gather(*(self._probe_one(r) for r in reps))
+
+    async def _probe_one(self, rep: Replica) -> None:
+        if rep.state == DRAINING:
+            return
+        try:
+            resp = await rep.link.request(
+                {"op": "health"}, self.config.probe_timeout_ms / 1e3
+            )
+            health = resp if resp.get("ok") else None
+        except (ConnectionError, TimeoutError, OSError):
+            health = None
+        rep.apply_probe(health)
+
+    # -- connection handling (same discipline as PhastService) -------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        conn_tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    msg = await protocol.read_message(reader)
+                except (protocol.ProtocolError, ConnectionError):
+                    break
+                if msg is None:
+                    break
+                task = asyncio.get_running_loop().create_task(
+                    self._respond(msg, writer, write_lock)
+                )
+                for registry in (conn_tasks, self._tasks):
+                    registry.add(task)
+                    task.add_done_callback(registry.discard)
+        finally:
+            for task in list(conn_tasks):
+                task.cancel()
+            if conn_tasks:
+                await asyncio.gather(*conn_tasks, return_exceptions=True)
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(self, msg: dict, writer: asyncio.StreamWriter,
+                       write_lock: asyncio.Lock) -> None:
+        response = await self._process(msg)
+        try:
+            async with write_lock:
+                await protocol.write_message(writer, response)
+        except (ConnectionError, RuntimeError, OSError):
+            pass
+
+    # -- request processing ------------------------------------------------
+
+    async def _process(self, msg: dict) -> dict:
+        req_id = msg.get("id")
+        op = msg.get("op")
+        if not isinstance(op, str):
+            return self._error(req_id, protocol.BAD_REQUEST, "missing 'op'")
+        self.metrics.record_request(op)
+        if op == "ping":
+            return protocol.ok_response(req_id, pong=True)
+        if op == "health":
+            return protocol.ok_response(req_id, **self._health())
+        if op == "metrics":
+            return protocol.ok_response(req_id, metrics=self.metrics.snapshot(
+                replicas={n: r.snapshot() for n, r in self.replicas.items()}
+            ))
+        if op == "info":
+            return await self._info(req_id)
+        if op not in WORK_OPS:
+            return self._error(
+                req_id, protocol.BAD_REQUEST,
+                f"unknown op {op!r}; known: {WORK_OPS + ADMIN_OPS}",
+            )
+        if self._draining:
+            return self._error(req_id, protocol.UNAVAILABLE,
+                               "router is draining")
+        try:
+            return await self._route_work(req_id, op, msg)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # router bug — never kill the connection
+            return self._error(req_id, protocol.INTERNAL,
+                               f"router error: {type(exc).__name__}: {exc}")
+
+    def _error(self, req_id, code: int, message: str) -> dict:
+        self.metrics.record_error(code)
+        return protocol.error_response(req_id, code, message)
+
+    def _health(self) -> dict:
+        replicas = {n: r.snapshot() for n, r in self.replicas.items()}
+        routable = [r for r in self.replicas.values() if r.routable]
+        if self._draining:
+            status = "draining"
+        elif not routable:
+            status = "down"
+        elif all(r.state == ACTIVE for r in self.replicas.values()):
+            status = "ok"
+        else:
+            status = "degraded"
+        return {
+            "status": status,
+            "ready": not self._draining and bool(routable),
+            "router": True,
+            "replica_count": len(self.replicas),
+            "routable": len(routable),
+            "replicas": replicas,
+        }
+
+    async def _info(self, req_id) -> dict:
+        """Proxy ``info`` from a live replica, annotated with topology."""
+        last_exc: Exception | None = None
+        for rep in self.replicas.values():
+            if not rep.routable:
+                continue
+            try:
+                resp = await rep.link.request(
+                    {"op": "info"}, self.config.probe_timeout_ms / 1e3
+                )
+            except (ConnectionError, TimeoutError) as exc:
+                last_exc = exc
+                continue
+            resp["id"] = req_id
+            resp["router"] = {
+                "replicas": len(self.replicas),
+                "routable": sum(r.routable for r in self.replicas.values()),
+                "via": rep.name,
+            }
+            return resp
+        return self._error(
+            req_id, protocol.UNAVAILABLE,
+            f"no replica answered info: {last_exc}",
+        )
+
+    # -- routing -----------------------------------------------------------
+
+    @staticmethod
+    def affinity_key(op: str, msg: dict) -> str:
+        """The cache-locality key a request should stick to.
+
+        ``matrix`` keys on the (deduplicated, sorted) target set —
+        the replica-side :class:`SelectionCache` is keyed the same
+        way, so repeat target sets keep hitting their warm selection.
+        Everything else keys on the source vertex, which keeps a hot
+        origin's upward search space and batcher lane on one replica.
+        """
+        if op == "matrix":
+            targets = msg.get("targets")
+            if isinstance(targets, list):
+                return "matrix:" + ",".join(
+                    str(t) for t in sorted(set(map(str, targets)))
+                )
+            return f"matrix:{targets!r}"
+        return f"src:{msg.get('source')!r}"
+
+    def _forward_timeout(self, msg: dict) -> float:
+        timeout_ms = msg.get("timeout_ms")
+        if isinstance(timeout_ms, bool) or not isinstance(timeout_ms, (int, float)):
+            return self.config.forward_timeout_ms / 1e3
+        return (float(timeout_ms) + self.config.forward_grace_ms) / 1e3
+
+    async def _route_work(self, req_id, op: str, msg: dict) -> dict:
+        key = self.affinity_key(op, msg)
+        preference = self.ring.preference(key)
+        home = preference[0] if preference else None
+        timeout = self._forward_timeout(msg)
+        attempts = 0
+        warm_deferred = False
+        last_error: dict | None = None
+
+        def account(routed_to: str | None) -> None:
+            self.metrics.record_routing(
+                hit=routed_to is not None and routed_to == home,
+                spilled=routed_to != home,
+                failovers=max(0, attempts - 1),
+                warm_deferred=warm_deferred,
+            )
+
+        for rank, name in enumerate(preference):
+            rep = self.replicas.get(name)
+            if rep is None or not rep.routable:
+                continue
+            if attempts >= self.config.max_attempts:
+                break
+            if rep.state == WARMING and not rep.admit_warm():
+                # Thin a warming replica's share only when a warmer
+                # one exists to take the request instead.
+                others = (
+                    r for o, r in self.replicas.items()
+                    if o != name and o in preference[rank + 1:]
+                )
+                if any(r.routable and r.state != WARMING for r in others):
+                    warm_deferred = True
+                    continue
+            attempts += 1
+            rep.inflight += 1
+            self.metrics.record_forward(name)
+            try:
+                resp = await rep.link.request(msg, timeout)
+            except (ConnectionError, TimeoutError) as exc:
+                rep.record_failure()
+                self.metrics.record_replica_error(name)
+                last_error = protocol.error_response(
+                    req_id, protocol.UNAVAILABLE,
+                    f"replica {name} failed: {exc}",
+                )
+                continue
+            finally:
+                rep.inflight -= 1
+            rep.record_success()
+            resp["id"] = req_id
+            if resp.get("ok"):
+                account(name)
+                return resp
+            code = (resp.get("error") or {}).get("code")
+            if code in RETRYABLE_CODES:
+                self.metrics.record_replica_error(name)
+                last_error = resp
+                continue
+            # 400 / 504: the request's own outcome — pass through.
+            account(name)
+            self.metrics.record_error(code or protocol.INTERNAL)
+            return resp
+
+        account(None)
+        if last_error is not None:
+            code = (last_error.get("error") or {}).get("code", protocol.UNAVAILABLE)
+            self.metrics.record_error(code)
+            return last_error
+        return self._error(
+            req_id, protocol.UNAVAILABLE,
+            f"no routable replica for {op} "
+            f"({len(self.replicas)} configured, 0 accepting)",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Thread-hosted routing (tests, benchmarks, notebooks)
+
+
+class RouterHandle:
+    """A router running on a private event loop in a daemon thread.
+
+    Besides the lifecycle of :class:`ServerHandle`, it exposes
+    blocking ``hold_out`` / ``readmit`` wrappers so synchronous code
+    (a :class:`ReplicaManager` doing a rolling restart, a test) can
+    drive the router's rotation from outside its loop.
+    """
+
+    def __init__(self, router: PhastRouter, thread: threading.Thread,
+                 loop: asyncio.AbstractEventLoop) -> None:
+        self.router = router
+        self.thread = thread
+        self.loop = loop
+
+    @property
+    def host(self) -> str:
+        return self.router.host
+
+    @property
+    def port(self) -> int:
+        return self.router.port
+
+    def hold_out(self, name: str, *, timeout: float = 60.0) -> None:
+        asyncio.run_coroutine_threadsafe(
+            self.router.hold_out(name, timeout=timeout), self.loop
+        ).result(timeout + 10.0)
+
+    def readmit(self, name: str, *, timeout: float = 60.0) -> None:
+        asyncio.run_coroutine_threadsafe(
+            self.router.readmit(name), self.loop
+        ).result(timeout)
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Drain the router and join its thread (idempotent)."""
+        if self.thread.is_alive():
+            self.loop.call_soon_threadsafe(
+                lambda: asyncio.ensure_future(self.router.drain())
+            )
+        self.thread.join(timeout)
+        if self.thread.is_alive():
+            raise RuntimeError("router thread did not drain in time")
+
+    def __enter__(self) -> "RouterHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def route_in_thread(
+    router: PhastRouter, *, host: str = "127.0.0.1", port: int = 0,
+    start_timeout: float = 60.0,
+) -> RouterHandle:
+    """Start ``router`` on a fresh event loop in a daemon thread.
+
+    ``port=0`` binds an ephemeral port; read it back from
+    ``handle.port``.  The thread exits once the router has drained.
+    """
+    started = threading.Event()
+    holder: dict = {}
+
+    def runner() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        holder["loop"] = loop
+
+        async def main() -> None:
+            try:
+                await router.start(host=host, port=port)
+            except BaseException as exc:
+                holder["error"] = exc
+                raise
+            finally:
+                started.set()
+            await router.wait_drained()
+
+        try:
+            loop.run_until_complete(main())
+        except BaseException as exc:
+            holder.setdefault("error", exc)
+            started.set()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=runner, name="phast-router", daemon=True)
+    thread.start()
+    if not started.wait(start_timeout):
+        raise RuntimeError("router failed to start in time")
+    if "error" in holder:
+        raise RuntimeError(f"router failed to start: {holder['error']}")
+    return RouterHandle(router, thread, holder["loop"])

@@ -6,6 +6,15 @@ load generators and applications scale by running one client per
 thread, which is also how the benchmark applies offered load.  Not
 thread-safe; share nothing, connect per thread.
 
+The connection is *persistent*: it is established once (eagerly, so
+construction surfaces an unreachable endpoint immediately) and reused
+for every subsequent call — on the router path each per-call connect
+would otherwise add a syscall round trip and a three-way handshake in
+front of a sub-millisecond query.  The client reconnects only after a
+transport failure or a read timeout; :attr:`connects_total` /
+:attr:`reconnects_total` make the reuse observable, and the tests pin
+it (N calls, one socket).
+
 Failure semantics
 -----------------
 Every query op is a pure read, so lost-connection retries are safe:
@@ -80,6 +89,10 @@ class ServerClient:
         self.max_retries = int(max_retries)
         self.backoff_s = float(backoff_s)
         self._next_id = 0
+        #: Connections established over this client's lifetime; the
+        #: first connect counts, so ``reconnects_total`` is
+        #: ``connects_total - 1``.
+        self.connects_total = 0
         self._sock: socket.socket | None = self._connect(connect_retry_s)
 
     @property
@@ -94,6 +107,7 @@ class ServerClient:
                     (self.host, self.port), timeout=self._timeout
                 )
                 sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                self.connects_total += 1
                 return sock
             except OSError as exc:
                 if time.monotonic() >= deadline:
@@ -101,6 +115,16 @@ class ServerClient:
                         f"cannot connect to {self._endpoint}: {exc}"
                     ) from exc
                 time.sleep(0.05)
+
+    @property
+    def connected(self) -> bool:
+        """A live (as far as we know) connection is being reused."""
+        return self._sock is not None
+
+    @property
+    def reconnects_total(self) -> int:
+        """How many times the persistent connection had to be rebuilt."""
+        return max(0, self.connects_total - 1)
 
     def _drop(self) -> None:
         """Discard the connection; the next call reconnects."""

@@ -39,6 +39,12 @@ class ServerMetrics:
         self.matrix_requests = 0
         self.matrix_cells = 0
 
+    def uptime_seconds(self) -> float:
+        """Monotonic seconds since this server instance constructed its
+        metrics — the restart-detection signal of the ``health`` op (a
+        router sees it move backwards exactly when the process is new)."""
+        return round(time.monotonic() - self.started_at, 3)
+
     def record_request(self, op: str) -> None:
         with self._lock:
             self.requests[op] = self.requests.get(op, 0) + 1

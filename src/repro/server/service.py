@@ -38,6 +38,7 @@ lingering connections.
 from __future__ import annotations
 
 import asyncio
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -495,7 +496,14 @@ class PhastService:
         )
 
     def _health(self) -> dict:
-        """Readiness payload: pool liveness + admission pressure."""
+        """Readiness payload: pool liveness + admission pressure.
+
+        ``uptime_seconds``, ``address`` and ``pid`` are the *generation*
+        signals: a router probing this op can tell a replica that
+        restarted (uptime moved backwards / new pid) from one that was
+        merely slow — a restarted replica has cold caches and deserves
+        a warm-up ramp, not full fair-share traffic.
+        """
         pool_health = self.pool.health()
         capacity = self.pool.capacity_fraction()
         if self._draining:
@@ -510,6 +518,9 @@ class PhastService:
             "status": status,
             "ready": not self._draining and capacity > 0.0,
             "capacity": capacity,
+            "uptime_seconds": self.metrics.uptime_seconds(),
+            "address": f"{self.host}:{self.port}",
+            "pid": os.getpid(),
             "pool": pool_health,
             "admission": self.admission.snapshot(),
         }

@@ -8,6 +8,7 @@ graceful-drain contract.
 
 from __future__ import annotations
 
+import os
 import socket
 import struct
 import threading
@@ -450,3 +451,39 @@ def test_same_source_requests_coalesce_into_one_lane(road_ch, reference):
     # source it stays at 1.0 while mean_size exceeds it.
     assert batches["mean_lanes"] == 1.0
     assert batches["mean_size"] > batches["mean_lanes"]
+
+
+# ---------------------------------------------------------------------------
+# Generation signals + persistent-connection client (router substrate)
+
+
+def test_health_reports_generation_signals(client, server):
+    """The ``health`` op carries the restart-detection fields a router
+    keys generation changes on: pid, listening address, and a
+    monotonic ``uptime_seconds`` that only moves backwards when the
+    process is new."""
+    health = client.health()
+    assert health["pid"] == os.getpid()  # in-thread server, same process
+    assert health["address"] == f"{server.host}:{server.port}"
+    assert health["uptime_seconds"] >= 0.0
+    assert client.health()["uptime_seconds"] >= health["uptime_seconds"]
+
+
+def test_client_reuses_one_connection(server):
+    with ServerClient(server.host, server.port) as c:
+        for _ in range(10):
+            assert c.ping()
+        assert c.connected
+        assert c.connects_total == 1
+        assert c.reconnects_total == 0
+
+
+def test_client_reconnects_after_connection_loss(server):
+    with ServerClient(server.host, server.port) as c:
+        assert c.ping()
+        # Kill the transport under the client; the next call must
+        # notice, reconnect, and succeed — counted as one reconnect.
+        c._sock.shutdown(socket.SHUT_RDWR)
+        assert c.ping()
+        assert c.connects_total == 2
+        assert c.reconnects_total == 1
