@@ -20,6 +20,7 @@ import bench_ablations
 import bench_applications
 import bench_batch_queries
 import bench_ch_query
+import bench_customize
 import bench_fig1_levels
 import bench_highway_dimension
 import bench_lower_bound
@@ -53,6 +54,7 @@ EXPERIMENTS = {
     "highway_dimension": bench_highway_dimension.run,
     "preprocessing": bench_preprocessing.run,
     "server": bench_server.run,
+    "customize": bench_customize.run,
 }
 
 

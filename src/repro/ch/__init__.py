@@ -2,6 +2,13 @@
 
 from .batched import contract_graph_batched
 from .contraction import CHParams, contract_graph
+from .customize import (
+    CHMetric,
+    CHTopology,
+    build_topology,
+    customize,
+    customize_many,
+)
 from .hierarchy import (
     ContractionHierarchy,
     assemble_hierarchy,
@@ -19,6 +26,11 @@ __all__ = [
     "CHParams",
     "contract_graph",
     "contract_graph_batched",
+    "CHMetric",
+    "CHTopology",
+    "build_topology",
+    "customize",
+    "customize_many",
     "ContractionHierarchy",
     "assemble_hierarchy",
     "build_csr_with_payload",

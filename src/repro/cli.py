@@ -10,7 +10,11 @@ subcommands::
     python -m repro query map.npz map.ch.npz --source 0 --target 4095
     python -m repro stats map.npz map.ch.npz
     python -m repro convert map.gr -o map.npz        # DIMACS import
+    python -m repro customize map.npz --topology-out map.topo.npz \
+        --metric-out map.metric.npz                  # topology/metric split
     python -m repro serve map.npz map.ch.npz --port 7171
+    python -m repro serve --topology map.topo.npz --metric map.metric.npz
+    python -m repro swap --port 7171 --weights new-weights.npz  # hot swap
     python -m repro route map.npz map.ch.npz --replicas 2 --port 7170
     python -m repro client --port 7171 --op query --source 0 --target 4095
     python -m repro doctor --unlink                  # reap orphaned shm
@@ -109,6 +113,116 @@ def _cmd_preprocess(args: argparse.Namespace) -> int:
         f"{args.output}: {ch.num_shortcuts} shortcuts, "
         f"{ch.num_levels} levels, {elapsed:.1f}s ({detail})"
     )
+    return 0
+
+
+def _load_weights(spec: str, graph=None) -> np.ndarray:
+    """Per-base-arc weights from ``spec``.
+
+    Accepts a ``.npz`` with a ``weights`` array, a graph artifact
+    (its ``arc_len`` is the weight vector), or a text file of one
+    integer per line / whitespace-separated.
+    """
+    path = Path(spec)
+    if path.suffix == ".npz":
+        with np.load(path) as data:
+            if "weights" in data:
+                return np.asarray(data["weights"], dtype=np.int64)
+            if "arc_len" in data:
+                return np.asarray(data["arc_len"], dtype=np.int64)
+        raise ValueError(
+            f"{spec}: no 'weights' (or graph 'arc_len') array in archive"
+        )
+    if path.suffix == ".gr":
+        return np.asarray(_load_graph(spec).arc_len, dtype=np.int64)
+    return np.loadtxt(path, dtype=np.int64).reshape(-1)
+
+
+def _cmd_customize(args: argparse.Namespace) -> int:
+    """Topology/metric split: the offline half of hot weight swaps.
+
+    Builds (or loads) the metric-independent topology artifact, then
+    runs the customization pass for one weight vector and writes the
+    metric artifact.  At serve time ``--topology``/``--metric`` load
+    these, and ``repro swap`` pushes fresh metrics into the running
+    server without re-contraction.
+    """
+    from .ch import build_topology, customize
+    from .graph import load_topology, save_metric, save_topology
+
+    graph = _load_graph(args.graph)
+    if args.topology:
+        topology = load_topology(args.topology)
+        if topology.n != graph.n:
+            raise ValueError(
+                f"graph has {graph.n} vertices but topology has "
+                f"{topology.n}; the artifacts do not belong together"
+            )
+        print(f"loaded topology {args.topology} "
+              f"(closure {topology.num_arcs} arcs)")
+    else:
+        start = time.perf_counter()
+        topology = build_topology(graph)
+        elapsed = time.perf_counter() - start
+        print(
+            f"topology: {topology.num_arcs} closure arcs, "
+            f"{topology.num_triangles} triangles, "
+            f"{topology.stats['levels']} levels, {elapsed:.1f}s"
+        )
+    if args.topology_out:
+        save_topology(topology, args.topology_out)
+        print(f"topology written to {args.topology_out}")
+    weights = (_load_weights(args.weights) if args.weights
+               else np.asarray(graph.arc_len, dtype=np.int64))
+    if weights.size != topology.num_base_arcs:
+        raise ValueError(
+            f"weight vector has {weights.size} entries but the topology "
+            f"covers {topology.num_base_arcs} base arcs"
+        )
+    start = time.perf_counter()
+    metric = customize(topology, weights)
+    elapsed = time.perf_counter() - start
+    print(f"customize: {elapsed * 1e3:.1f} ms "
+          f"({topology.num_arcs / max(elapsed, 1e-9):.0f} arcs/s)")
+    if args.metric_out:
+        save_metric(metric, args.metric_out)
+        print(f"metric written to {args.metric_out}")
+    if not args.topology_out and not args.metric_out:
+        print("note: no --topology-out/--metric-out; nothing was saved")
+    return 0
+
+
+def _cmd_swap(args: argparse.Namespace) -> int:
+    """Hot-swap the metric of a running server (or every replica
+    behind a router) from the command line."""
+    from .server import ServerClient
+
+    if bool(args.weights) == bool(args.metric_path):
+        raise ValueError(
+            "exactly one of --weights and --metric-path is required"
+        )
+    weights = _load_weights(args.weights) if args.weights else None
+    with ServerClient(
+        args.host, args.port, connect_retry_s=args.wait_ready
+    ) as client:
+        start = time.perf_counter()
+        report = client.swap_metric(
+            weights=weights, path=args.metric_path,
+            timeout=args.swap_timeout,
+        )
+        elapsed = time.perf_counter() - start
+    if "replicas" in report:  # router: one payload per replica
+        for name, payload in sorted(report["replicas"].items()):
+            print(f"{name}: generation {payload['metric_generation']} "
+                  f"(swap {payload['swap_seconds'] * 1e3:.1f} ms)")
+        print(f"rolled {len(report['replicas'])} replica(s) "
+              f"in {elapsed:.2f}s")
+    else:
+        print(
+            f"metric generation {report['metric_generation']} live "
+            f"(customize {report.get('customize_seconds', 0) * 1e3:.1f} ms, "
+            f"swap {report['swap_seconds'] * 1e3:.1f} ms)"
+        )
     return 0
 
 
@@ -236,16 +350,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
     from .core.pool import install_signal_guard
-    from .graph import load_hierarchy
+    from .graph import load_hierarchy, load_metric, load_topology
     from .server import PhastService, ServerConfig
 
-    graph = _load_graph(args.graph)
-    ch = load_hierarchy(args.hierarchy)
-    if ch.n != graph.n:
-        raise ValueError(
-            f"graph has {graph.n} vertices but hierarchy has {ch.n}; "
-            "the artifacts do not belong together"
-        )
+    topo_mode = bool(args.topology or args.metric)
+    if topo_mode:
+        if not (args.topology and args.metric):
+            raise ValueError("--topology and --metric go together")
+        if args.hierarchy is not None:
+            raise ValueError(
+                "give either graph+hierarchy artifacts or "
+                "--topology/--metric, not both"
+            )
+        topology = load_topology(args.topology)
+        metric = load_metric(args.metric, topology=topology)
+        graph = _load_graph(args.graph) if args.graph else None
+        if graph is not None and graph.n != topology.n:
+            raise ValueError(
+                f"graph has {graph.n} vertices but topology has "
+                f"{topology.n}; the artifacts do not belong together"
+            )
+    else:
+        if args.graph is None or args.hierarchy is None:
+            raise ValueError(
+                "serve needs graph and hierarchy artifacts "
+                "(or --topology with --metric)"
+            )
+        graph = _load_graph(args.graph)
+        ch = load_hierarchy(args.hierarchy)
+        if ch.n != graph.n:
+            raise ValueError(
+                f"graph has {graph.n} vertices but hierarchy has {ch.n}; "
+                "the artifacts do not belong together"
+            )
     if args.sweep_k < 0:
         raise ValueError(f"--sweep-k must be >= 0 (got {args.sweep_k})")
     config = ServerConfig(
@@ -264,7 +401,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         selection_cache=args.selection_cache,
     )
-    service = PhastService(ch, graph=graph, config=config)
+    if topo_mode:
+        service = PhastService(topology=topology, metric=metric,
+                               graph=graph, config=config)
+        served = f"{args.topology} + {args.metric}"
+        n, m = topology.n, topology.num_base_arcs
+    else:
+        service = PhastService(ch, graph=graph, config=config)
+        served = str(args.graph)
+        n, m = graph.n, graph.m
     # Belt and braces: the drain path unlinks the pool's shared memory,
     # but a signal that lands before/outside the loop must not leak it.
     install_signal_guard()
@@ -273,7 +418,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         await service.start()
         mode = "micro-batching" if config.batching else "batching off"
         print(
-            f"serving {args.graph} (n={graph.n}, m={graph.m}) on "
+            f"serving {served} (n={n}, m={m}) on "
             f"{service.host}:{service.port} — {mode}, "
             f"batch_max={config.batch_max}, wait={config.max_wait_ms}ms, "
             f"{service.pool.num_workers} worker(s)"
@@ -300,6 +445,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _client_ids(args: argparse.Namespace, plural: str,
+                singular: str) -> list[int] | None:
+    """Vertex ids from the unified ``--sources``/``--targets`` flags.
+
+    The plural flag is canonical (comma-separated, any op); the old
+    singular spelling still works for the single-vertex ops.  Giving
+    both is an error.
+    """
+    plural_val = getattr(args, plural, None)
+    singular_val = getattr(args, singular, None)
+    if plural_val is not None and singular_val is not None:
+        raise ValueError(f"give --{plural} or --{singular}, not both")
+    if singular_val is not None:
+        return [int(singular_val)]
+    if plural_val is None:
+        return None
+    try:
+        return [int(v) for v in str(plural_val).split(",")]
+    except ValueError:
+        raise ValueError(
+            f"--{plural} must be comma-separated integers "
+            f"(got {plural_val!r})"
+        ) from None
+
+
+def _client_one(args: argparse.Namespace, plural: str, singular: str) -> int:
+    ids = _client_ids(args, plural, singular)
+    if ids is None:
+        raise ValueError(
+            f"--{plural} is required for --op {args.op}"
+        )
+    if len(ids) != 1:
+        raise ValueError(
+            f"--op {args.op} takes exactly one of --{plural} "
+            f"(got {len(ids)})"
+        )
+    return ids[0]
+
+
 def _cmd_client(args: argparse.Namespace) -> int:
     from .server import ServerClient
 
@@ -321,48 +505,56 @@ def _cmd_client(args: argparse.Namespace) -> int:
             if not health.get("ready"):
                 return 1
         elif op == "query":
-            _require_args(args, "source", "target")
-            resp = client.query(args.source, args.target, stall=args.stall)
+            source = _client_one(args, "sources", "source")
+            target = _client_one(args, "targets", "target")
+            resp = client.query(sources=source, targets=target,
+                                stall=args.stall)
             if not resp["reachable"]:
-                print(f"{args.source} -> {args.target}: unreachable")
+                print(f"{source} -> {target}: unreachable")
                 return 1
             print(
-                f"{args.source} -> {args.target}: distance "
+                f"{source} -> {target}: distance "
                 f"{resp['distance']} (settled {resp['settled']})"
             )
         elif op == "tree":
-            _require_args(args, "source")
-            dist = client.tree(args.source)
+            source = _client_one(args, "sources", "source")
+            dist = client.tree(source)
             from .graph.csr import INF
 
             reached = dist < INF
             print(
-                f"source {args.source}: {int(reached.sum())}/{dist.size} "
+                f"source {source}: {int(reached.sum())}/{dist.size} "
                 f"reached, max distance {int(dist[reached].max())}"
             )
             if args.output:
-                np.savez_compressed(args.output, source=args.source, dist=dist)
+                np.savez_compressed(args.output, source=source, dist=dist)
                 print(f"labels written to {args.output}")
         elif op == "one_to_many":
-            _require_args(args, "source", "targets")
-            targets = [int(t) for t in args.targets.split(",")]
-            dist = client.one_to_many(args.source, targets)
+            source = _client_one(args, "sources", "source")
+            targets = _client_ids(args, "targets", "target")
+            if targets is None:
+                raise ValueError("--targets is required for --op one-to-many")
+            dist = client.one_to_many(source, targets)
             for t, d in zip(targets, dist):
-                print(f"{args.source} -> {t}: {int(d)}")
+                print(f"{source} -> {t}: {int(d)}")
         elif op == "matrix":
-            _require_args(args, "sources", "targets")
-            sources = [int(s) for s in args.sources.split(",")]
-            targets = [int(t) for t in args.targets.split(",")]
+            sources = _client_ids(args, "sources", "source")
+            targets = _client_ids(args, "targets", "target")
+            if sources is None or targets is None:
+                raise ValueError(
+                    "--sources and --targets are required for --op matrix"
+                )
             mat = client.matrix(sources, targets, backend=args.backend)
             print("        " + " ".join(f"{t:>8}" for t in targets))
             for s, row in zip(sources, mat):
                 print(f"{s:>8}" + " ".join(f"{int(d):>8}" for d in row))
         elif op == "isochrone":
-            _require_args(args, "source", "budget")
-            vertices = client.isochrone(args.source, args.budget)
+            source = _client_one(args, "sources", "source")
+            _require_args(args, "budget")
+            vertices = client.isochrone(source, args.budget)
             print(
                 f"{vertices.size} vertices within {args.budget} of "
-                f"{args.source}"
+                f"{source}"
             )
         else:  # pragma: no cover - argparse restricts choices
             raise ValueError(f"unknown op {args.op!r}")
@@ -513,7 +705,9 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
         print(json.dumps({
             "segments": [
                 {"name": i.name, "size_bytes": i.size_bytes, "pid": i.pid,
-                 "owner_alive": i.owner_alive, "orphaned": i.orphaned}
+                 "owner_alive": i.owner_alive, "orphaned": i.orphaned,
+                 "kind": i.kind, "generation": i.generation,
+                 "age_seconds": i.age_seconds}
                 for i in infos
             ],
             "orphans": len([i for i in infos if i.orphaned]),
@@ -529,7 +723,13 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
                  if info.pid is not None else "owner unknown")
         state = ("removed" if info.name in removed_names
                  else "ORPHANED" if info.orphaned else "in use")
-        print(f"{info.name}: {info.size_bytes} bytes, {owner} — {state}")
+        kind = info.kind
+        if kind == "metric" and info.generation is not None:
+            kind = f"metric g{info.generation}"
+        age = (f", age {info.age_seconds:.0f}s"
+               if info.age_seconds is not None else "")
+        print(f"{info.name}: {kind}, {info.size_bytes} bytes, "
+              f"{owner}{age} — {state}")
     if remaining:
         print(f"{len(remaining)} orphaned segment(s); "
               "run `repro doctor --unlink` to remove them")
@@ -685,6 +885,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_preprocess)
 
+    cz = sub.add_parser(
+        "customize",
+        help="split preprocessing: build topology + customize a metric",
+    )
+    cz.add_argument("graph")
+    cz.add_argument("--topology",
+                    help="reuse an existing topology artifact instead of "
+                    "building one from the graph")
+    cz.add_argument("--topology-out", metavar="PATH",
+                    help="write the metric-independent topology artifact")
+    cz.add_argument("--metric-out", metavar="PATH",
+                    help="write the customized metric artifact")
+    cz.add_argument("--weights", metavar="FILE",
+                    help="weight vector (.npz with 'weights', a graph "
+                    "artifact, or a text file); default: the graph's "
+                    "own arc lengths")
+    cz.set_defaults(func=_cmd_customize)
+
+    sw = sub.add_parser(
+        "swap",
+        help="hot-swap the metric of a running server (or every "
+        "replica behind a router)",
+    )
+    sw.add_argument("--host", default="127.0.0.1")
+    sw.add_argument("--port", type=int, default=7171)
+    sw.add_argument("--wait-ready", type=float, default=0.0,
+                    help="retry the first connection for this many seconds")
+    sw.add_argument("--weights", metavar="FILE",
+                    help="weight vector to ship inline (.npz/graph/text)")
+    sw.add_argument("--metric-path", metavar="PATH",
+                    help="metric artifact path on the server's filesystem")
+    sw.add_argument("--swap-timeout", type=float, default=300.0,
+                    help="client-side wait for the swap to complete")
+    sw.set_defaults(func=_cmd_swap)
+
     t = sub.add_parser("tree", help="one PHAST shortest path tree")
     t.add_argument("graph")
     t.add_argument("hierarchy")
@@ -728,8 +963,15 @@ def build_parser() -> argparse.ArgumentParser:
     sv = sub.add_parser(
         "serve", help="long-lived query service with dynamic micro-batching"
     )
-    sv.add_argument("graph")
-    sv.add_argument("hierarchy")
+    sv.add_argument("graph", nargs="?",
+                    help="graph artifact (omit when serving --topology)")
+    sv.add_argument("hierarchy", nargs="?",
+                    help="hierarchy artifact (omit when serving --topology)")
+    sv.add_argument("--topology",
+                    help="serve a topology artifact (repro customize) "
+                    "instead of a hierarchy; enables hot metric swaps")
+    sv.add_argument("--metric",
+                    help="initial metric artifact for --topology")
     sv.add_argument("--host", default="127.0.0.1")
     sv.add_argument("--port", type=int, default=7171,
                     help="TCP port (0 = ephemeral)")
@@ -800,10 +1042,16 @@ def build_parser() -> argparse.ArgumentParser:
                  "one-to-many", "isochrone", "matrix"),
         default="ping",
     )
-    cl.add_argument("--source", type=int)
-    cl.add_argument("--target", type=int)
-    cl.add_argument("--targets", help="comma-separated ids (one-to-many, matrix)")
-    cl.add_argument("--sources", help="comma-separated ids (matrix rows)")
+    cl.add_argument("--sources",
+                    help="comma-separated vertex ids; the unified spelling "
+                    "for every op (single-vertex ops take one id)")
+    cl.add_argument("--targets",
+                    help="comma-separated vertex ids (query, one-to-many, "
+                    "matrix)")
+    cl.add_argument("--source", type=int,
+                    help="single-vertex alias for --sources")
+    cl.add_argument("--target", type=int,
+                    help="single-vertex alias for --targets")
     cl.add_argument("--backend", choices=("rphast", "buckets"),
                     help="matrix algorithm (default: server-side rphast)")
     cl.add_argument("--budget", type=int, help="isochrone time budget")

@@ -448,8 +448,13 @@ class PhastEngine:
         ]
         ok = dist_orig[heads_orig] == dist_orig[tails_orig] + sw.arc_len
         ok &= dist_orig[heads_orig] < INF
-        # Last write wins; any satisfying arc is a valid parent.
-        parent[heads_orig[ok]] = tails_orig[ok]
+        # Positive arcs first: the parent's label is strictly smaller,
+        # so these chains can never cycle (last write wins; any
+        # satisfying arc is a valid parent).  Zero-length arcs connect
+        # equal-label vertices and are deferred — picking them blindly
+        # can orient a zero-cycle into a parent cycle.
+        pos = ok & (sw.arc_len > 0)
+        parent[heads_orig[pos]] = tails_orig[pos]
         # Vertices realized by the upward search (no downward arc
         # matches): take CH-search parents.
         space = upward_search(self.ch, source)
@@ -458,6 +463,22 @@ class PhastEngine:
         use = need & exact
         parent[space.vertices[use]] = space.parents[use]
         parent[source] = -1
+        # Zero-length ties: attach still-unresolved vertices only to
+        # already-resolved tails, in rounds.  Every assignment points
+        # at a vertex whose chain is known to terminate, so the result
+        # stays acyclic; every finite label is reachable this way
+        # because along its shortest path the first vertex of any
+        # zero-length stretch is realized by a positive arc, the
+        # upward search, or the source itself.
+        zero = ok & (sw.arc_len == 0)
+        if np.any(zero):
+            zt, zh = tails_orig[zero], heads_orig[zero]
+            while True:
+                pending = (parent[zh] == -1) & (zh != source)
+                pending &= (parent[zt] != -1) | (zt == source)
+                if not np.any(pending):
+                    break
+                parent[zh[pending]] = zt[pending]
         return parent
 
 

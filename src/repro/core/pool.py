@@ -256,8 +256,8 @@ class _ArraySpec:
     offset: int
 
 
-def _create_segment(size: int) -> shared_memory.SharedMemory:
-    """A fresh segment named ``repro-<pid>-<hex>`` (see ``repro doctor``).
+def _create_segment(size: int, tag: str | None = None) -> shared_memory.SharedMemory:
+    """A fresh segment named ``repro-<pid>[-<tag>]-<hex>`` (see ``repro doctor``).
 
     The attributable name lets operators match leaked segments to a
     dead creator process; a random-collision retry keeps creation
@@ -266,14 +266,16 @@ def _create_segment(size: int) -> shared_memory.SharedMemory:
     for _ in range(8):
         try:
             return shared_memory.SharedMemory(
-                name=segment_name(), create=True, size=max(size, 1)
+                name=segment_name(tag), create=True, size=max(size, 1)
             )
         except FileExistsError:
             continue
     return shared_memory.SharedMemory(create=True, size=max(size, 1))
 
 
-def _publish(arrays: dict[str, np.ndarray]) -> tuple[shared_memory.SharedMemory, list[_ArraySpec]]:
+def _publish(
+    arrays: dict[str, np.ndarray], tag: str | None = None
+) -> tuple[shared_memory.SharedMemory, list[_ArraySpec]]:
     """Copy ``arrays`` into one fresh shared-memory segment."""
     specs: list[_ArraySpec] = []
     offset = 0
@@ -282,7 +284,7 @@ def _publish(arrays: dict[str, np.ndarray]) -> tuple[shared_memory.SharedMemory,
         offset = (offset + _ALIGN - 1) // _ALIGN * _ALIGN
         specs.append(_ArraySpec(key, a.dtype.str, a.shape, offset))
         offset += a.nbytes
-    shm = _create_segment(offset)
+    shm = _create_segment(offset, tag)
     for spec in specs:
         src = normalized[spec.key]
         view = np.ndarray(
@@ -626,6 +628,8 @@ def _pool_worker(slot, incarnation, shm_name, specs, meta, work_conn,
         return
     k = meta["k"]
     n = meta["n"]
+    metric_gen = 0  # boot segment carries generation-0 weights
+    metric_shm: shared_memory.SharedMemory | None = None
     try:
         while True:
             if not work_conn.poll(_WORKER_POLL_S):
@@ -645,6 +649,35 @@ def _pool_worker(slot, incarnation, shm_name, specs, meta, work_conn,
             hb[2 * slot + 1] = time.monotonic()
             try:
                 apply_fault(fault, fault_budget, slot, chunk_id)
+                metric = batch.get("metric")
+                if metric is not None and metric[0] != metric_gen:
+                    # The batch names a newer metric generation: attach
+                    # its weight segment, overlay the metric-dependent
+                    # views, and rebuild the engine over them.  This
+                    # runs BEFORE any tree of the chunk, and a respawned
+                    # worker (booted on generation-0 weights) passes
+                    # through here on its first post-swap chunk, so no
+                    # chunk is ever computed on a stale metric.
+                    gen, mname, mspecs = metric
+                    new_mshm = _attach(mname)
+                    mviews = _views(new_mshm, mspecs)
+                    views.update(mviews)
+                    task_ctx.boot.update(mviews)
+                    # Restricted engines were built over old weights
+                    # (selections embed copied arc lengths): drop them
+                    # and their attachments; fresh selections arrive
+                    # under new segment names.
+                    task_ctx.state.pop("rphast:engines", None)
+                    task_ctx.release()
+                    if engine is not None:
+                        engine, ctx = _build_worker_state(views, meta)
+                    if metric_shm is not None:
+                        try:
+                            metric_shm.close()
+                        except BufferError:
+                            pass  # a lingering view; freed on exit
+                    metric_shm = new_mshm
+                    metric_gen = gen
                 out = None
                 if batch["mode"] == "dist":
                     if batch["out_name"] != out_name:
@@ -678,6 +711,11 @@ def _pool_worker(slot, incarnation, shm_name, specs, meta, work_conn,
         try:
             if out_shm is not None:
                 out_shm.close()
+        except BufferError:
+            pass
+        try:
+            if metric_shm is not None:
+                metric_shm.close()
         except BufferError:
             pass
         try:
@@ -790,6 +828,10 @@ class _BasePool:
         #: Serial-path stand-in for dynamic segments: name -> array dict.
         self._local_segments: dict[str, dict[str, np.ndarray]] = {}
         self._local_counter = 0
+        #: ``(generation, segment_name, specs)`` of the current metric
+        #: overlay, or ``None`` before the first :meth:`swap_metric`.
+        #: Rides along in every batch so workers re-point lazily.
+        self._metric_handle: tuple[int, str, list] | None = None
 
     # -- subclass hooks ----------------------------------------------------
 
@@ -807,7 +849,7 @@ class _BasePool:
     # -- dynamic publications ----------------------------------------------
 
     def publish_arrays(
-        self, arrays: Mapping[str, np.ndarray]
+        self, arrays: Mapping[str, np.ndarray], *, tag: str | None = None
     ) -> tuple[str, list[_ArraySpec] | None]:
         """Publish named arrays as a fresh, individually retireable segment.
 
@@ -815,7 +857,10 @@ class _BasePool:
         handlers (inside ``common``/items) so they can attach by name
         via :meth:`TaskContext.attach`.  On the serial path the arrays
         are kept in-process under a synthetic name — same handle
-        shape, no shared memory, ``specs`` is ``None``.
+        shape, no shared memory, ``specs`` is ``None``.  ``tag``
+        embeds a classification token in the segment name
+        (``repro-<pid>-<tag>-<hex>``) so ``repro doctor`` can tell
+        what a leaked segment was.
         """
         if self._closed:
             raise RuntimeError("pool is closed")
@@ -828,7 +873,7 @@ class _BasePool:
                 k: np.array(a, order="C") for k, a in arrays.items()
             }
             return name, None
-        shm, specs = _publish(dict(arrays))
+        shm, specs = _publish(dict(arrays), tag)
         self._dynamic[shm.name] = shm
         return shm.name, specs
 
@@ -1033,6 +1078,12 @@ class _BasePool:
         self._batch_counter += 1
         batch = dict(batch)
         batch["id"] = self._batch_counter
+        if self._metric_handle is not None:
+            # Snapshot the handle into the batch: every chunk of this
+            # batch names the same metric generation, so a batch can
+            # never mix metrics no matter how chunks are re-dispatched
+            # across worker deaths or an interleaved swap.
+            batch["metric"] = self._metric_handle
         if batch["mode"] == "dist":
             batch["out_name"] = self._out_shm.name
             batch["out_rows"] = self._out_rows
@@ -1424,6 +1475,7 @@ class PhastPool(_BasePool):
         )
         # Serial-path twin of the workers' restricted-engine cache.
         self._restricted_local: OrderedDict[str, RPhastEngine] = OrderedDict()
+        self._metric_generation = 0
         if not self._serial:
             self._start_workers(context)
         _LIVE_POOLS.add(self)
@@ -1455,6 +1507,101 @@ class PhastPool(_BasePool):
             "graphs": list(self._graphs),
             "arrays": list(self._arrays),
         }
+
+    # -- metric hot swap ---------------------------------------------------
+
+    @property
+    def metric_generation(self) -> int:
+        """Monotone counter bumped by every :meth:`swap_metric`."""
+        return self._metric_generation
+
+    def swap_metric(self, new_ch: ContractionHierarchy) -> int:
+        """Re-point the pool at a structurally identical hierarchy.
+
+        The new hierarchy must share the old one's *topology* — same
+        vertex ranks and the exact same upward/downward arc sets — and
+        differ only in weights (and vias), i.e. it came from
+        ``customize()`` over the same :class:`~repro.ch.CHTopology`
+        (or a re-contraction that reproduced the structure).  Only the
+        metric-dependent arrays (``sw:arc_len``, ``sw:arc_via``,
+        ``up:arc_len``) are published, as a generation-tagged segment
+        ``repro-<pid>-m<gen>-<hex>``; workers re-point lazily on their
+        next chunk, guided by the generation each batch carries, and
+        the superseded segment is retired immediately (attached
+        mappings survive the unlink).
+
+        Must be called with no batch in flight — the caller provides
+        the quiesce point (the server does it between micro-batches).
+        Restricted-selection publications embed copied arc lengths, so
+        callers holding :meth:`publish_arrays` selection handles must
+        retire and republish them after a swap; the workers' cached
+        restricted engines are dropped automatically.
+
+        Returns the new metric generation.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if self._inflight:
+            raise RuntimeError(
+                "swap_metric requires a quiesced pool (a batch is in flight)"
+            )
+        old = self.ch
+        if new_ch.n != old.n:
+            raise ValueError(
+                f"metric swap changed vertex count: {old.n} -> {new_ch.n}"
+            )
+        for field_name, a, b in (
+            ("rank", old.rank, new_ch.rank),
+            ("upward.first", old.upward.first, new_ch.upward.first),
+            ("upward.arc_head", old.upward.arc_head, new_ch.upward.arc_head),
+            ("downward_rev.first", old.downward_rev.first,
+             new_ch.downward_rev.first),
+            ("downward_rev.arc_head", old.downward_rev.arc_head,
+             new_ch.downward_rev.arc_head),
+        ):
+            if not np.array_equal(a, b):
+                raise ValueError(
+                    f"metric swap changed hierarchy structure ({field_name} "
+                    "differs); hot swap needs a customize() over the same "
+                    "topology, not a fresh contraction"
+                )
+        engine = PhastEngine(
+            new_ch, reorder=self.reorder, search_cache=self.search_cache
+        )
+        # The sweep permutation is a pure function of structure; with
+        # the structure checks above this can only fire on a bug, but
+        # a mixed layout would silently corrupt distances, so verify.
+        old_sw, new_sw = self._engine.sweep, engine.sweep
+        if not (
+            np.array_equal(old_sw.pos_of, new_sw.pos_of)
+            and np.array_equal(old_sw.arc_first, new_sw.arc_first)
+            and np.array_equal(old_sw.arc_tail_pos, new_sw.arc_tail_pos)
+        ):
+            raise ValueError(
+                "metric swap produced a different sweep layout; refusing"
+            )
+        gen = self._metric_generation + 1
+        if not self._serial:
+            name, specs = self.publish_arrays(
+                {
+                    "sw:arc_len": new_sw.arc_len,
+                    "sw:arc_via": new_sw.arc_via,
+                    "up:arc_len": new_ch.upward.arc_len,
+                },
+                tag=f"m{gen}",
+            )
+            old_name = (
+                self._metric_handle[1] if self._metric_handle else None
+            )
+            self._metric_handle = (gen, name, specs)
+            if old_name is not None:
+                self.retire_publication(old_name)
+        self.ch = new_ch
+        self._engine = engine
+        # Serial-path restricted engines were built over old weights.
+        self._restricted_local.clear()
+        self._metric_generation = gen
+        return gen
 
     # -- output buffers ----------------------------------------------------
 

@@ -505,9 +505,19 @@ SEGMENT_PREFIX = "repro-"
 SHM_DIR = "/dev/shm"
 
 
-def segment_name() -> str:
-    """A fresh pool segment name carrying the creator's pid."""
-    return f"{SEGMENT_PREFIX}{os.getpid()}-{secrets.token_hex(4)}"
+def segment_name(tag: str | None = None) -> str:
+    """A fresh pool segment name carrying the creator's pid.
+
+    ``tag`` inserts a classification token between the pid and the
+    random suffix (``repro-<pid>-<tag>-<hex>``); metric-swap segments
+    use ``m<generation>`` so ``repro doctor`` can attribute a weight
+    segment stranded by a failed swap.  Tags must be alphanumeric —
+    a dash would break the pid/tag/suffix split.
+    """
+    if tag is not None and (not tag or not tag.isalnum()):
+        raise ValueError(f"segment tag must be alphanumeric, got {tag!r}")
+    mid = f"{tag}-" if tag is not None else ""
+    return f"{SEGMENT_PREFIX}{os.getpid()}-{mid}{secrets.token_hex(4)}"
 
 
 @dataclass(frozen=True)
@@ -519,6 +529,14 @@ class SegmentInfo:
     size_bytes: int
     pid: int | None
     owner_alive: bool
+    #: ``"pool"`` (boot/output/selection), ``"metric"`` (a
+    #: ``swap_metric`` weight segment), or ``"unknown"``.
+    kind: str = "pool"
+    #: Metric generation parsed from an ``m<gen>`` tag, else ``None``.
+    generation: int | None = None
+    #: Seconds since the segment file was last modified (None if the
+    #: stat raced with an unlink).
+    age_seconds: float | None = None
 
     @property
     def orphaned(self) -> bool:
@@ -546,26 +564,37 @@ def scan_segments(prefix: str = SEGMENT_PREFIX,
     """
     if not os.path.isdir(shm_dir):
         return []
+    now = time.time()
     infos: list[SegmentInfo] = []
     for entry in sorted(os.listdir(shm_dir)):
         if not entry.startswith(prefix):
             continue
         path = os.path.join(shm_dir, entry)
         try:
-            size = os.stat(path).st_size
+            st = os.stat(path)
         except OSError:
             continue  # raced with an unlink
         pid: int | None = None
+        kind = "unknown"
+        generation: int | None = None
         rest = entry[len(prefix):]
-        head = rest.split("-", 1)[0]
+        head, _, tail = rest.partition("-")
         if head.isdigit():
             pid = int(head)
+            kind = "pool"
+            tag = tail.split("-", 1)[0]
+            if len(tag) > 1 and tag[0] == "m" and tag[1:].isdigit():
+                kind = "metric"
+                generation = int(tag[1:])
         infos.append(SegmentInfo(
             name=entry,
             path=path,
-            size_bytes=size,
+            size_bytes=st.st_size,
             pid=pid,
             owner_alive=_pid_alive(pid) if pid is not None else True,
+            kind=kind,
+            generation=generation,
+            age_seconds=max(0.0, now - st.st_mtime),
         ))
     return infos
 

@@ -26,8 +26,12 @@ from .serialize import (
     ArtifactFormatError,
     load_graph,
     load_hierarchy,
+    load_metric,
+    load_topology,
     save_graph,
     save_hierarchy,
+    save_metric,
+    save_topology,
 )
 from .reorder import (
     compose_permutations,
@@ -81,5 +85,9 @@ __all__ = [
     "ArtifactFormatError",
     "load_graph",
     "save_hierarchy",
+    "save_topology",
+    "load_topology",
+    "save_metric",
+    "load_metric",
     "load_hierarchy",
 ]

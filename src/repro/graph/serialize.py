@@ -19,13 +19,21 @@ __all__ = [
     "load_graph",
     "save_hierarchy",
     "load_hierarchy",
+    "save_topology",
+    "load_topology",
+    "save_metric",
+    "load_metric",
     "ArtifactFormatError",
 ]
 
 _GRAPH_MAGIC_PREFIX = "repro-graph-v"
 _CH_MAGIC_PREFIX = "repro-ch-v"
+_TOPO_MAGIC_PREFIX = "repro-topo-v"
+_METRIC_MAGIC_PREFIX = "repro-metric-v"
 _GRAPH_MAGIC = _GRAPH_MAGIC_PREFIX + "1"
 _CH_MAGIC = _CH_MAGIC_PREFIX + "1"
+_TOPO_MAGIC = _TOPO_MAGIC_PREFIX + "1"
+_METRIC_MAGIC = _METRIC_MAGIC_PREFIX + "1"
 
 
 class ArtifactFormatError(ValueError):
@@ -126,3 +134,83 @@ def load_hierarchy(path: str | Path):
             num_shortcuts=int(data["num_shortcuts"]),
             preprocessing_stats={"loaded_from": str(path)},
         )
+
+
+def save_topology(topology, path: str | Path) -> None:
+    """Write a :class:`~repro.ch.customize.CHTopology` to ``path`` (.npz).
+
+    Stored uncompressed: the triangle enumeration dominates the file
+    and is high-entropy index data, so compression buys little and
+    costs minutes at road-network scale.
+    """
+    np.savez(
+        path,
+        magic=np.array(_TOPO_MAGIC),
+        key=np.array(topology.key),
+        num_base_arcs=np.array(topology.num_base_arcs),
+        **topology.arrays(),
+    )
+
+
+def load_topology(path: str | Path):
+    """Read a topology written by :func:`save_topology`."""
+    from ..ch.customize import CHTopology
+
+    with np.load(path, allow_pickle=False) as data:
+        _check_magic(
+            data, path, prefix=_TOPO_MAGIC_PREFIX, current=_TOPO_MAGIC,
+            kind="topology",
+        )
+        arrays = {k: data[k] for k in CHTopology._ARRAY_KEYS}
+        topo = CHTopology.from_arrays(
+            arrays,
+            num_base_arcs=int(data["num_base_arcs"]),
+            stats={"loaded_from": str(path)},
+        )
+        stored = str(data["key"])
+        if topo.key != stored:
+            raise ArtifactFormatError(
+                f"{path}: topology content hash {topo.key!r} does not match "
+                f"stored key {stored!r}; the artifact is corrupt"
+            )
+        return topo
+
+
+def save_metric(metric, path: str | Path) -> None:
+    """Write a :class:`~repro.ch.customize.CHMetric` to ``path`` (.npz)."""
+    np.savez(
+        path,
+        magic=np.array(_METRIC_MAGIC),
+        topology_key=np.array(metric.topology_key),
+        weights=metric.weights,
+        via=metric.via,
+    )
+
+
+def load_metric(path: str | Path, *, topology=None):
+    """Read a metric written by :func:`save_metric`.
+
+    ``topology=`` cross-checks the metric against the topology it will
+    instantiate — a weight vector customized for a different closure
+    would silently produce wrong distances, so the pairing is verified
+    here, at load time, not deep inside a swap.
+    """
+    from ..ch.customize import CHMetric
+
+    with np.load(path, allow_pickle=False) as data:
+        _check_magic(
+            data, path, prefix=_METRIC_MAGIC_PREFIX, current=_METRIC_MAGIC,
+            kind="metric",
+        )
+        metric = CHMetric(
+            topology_key=str(data["topology_key"]),
+            weights=data["weights"],
+            via=data["via"],
+            stats={"loaded_from": str(path)},
+        )
+    if topology is not None and metric.topology_key != topology.key:
+        raise ArtifactFormatError(
+            f"{path}: metric was customized for topology "
+            f"{metric.topology_key!r}, not {topology.key!r}"
+        )
+    return metric

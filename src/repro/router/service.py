@@ -47,10 +47,13 @@ from .ring import HashRing
 
 __all__ = ["RouterConfig", "PhastRouter", "RouterHandle", "route_in_thread"]
 
-#: Ops forwarded to replicas (identical to the service's WORK_OPS).
-WORK_OPS = ("query", "tree", "one_to_many", "isochrone", "matrix")
+#: Ops forwarded to replicas — derived from the protocol's declarative
+#: op registry, so the router can never drift from the service.
+WORK_OPS = protocol.WORK_OPS
 #: Ops answered at the router.
-ADMIN_OPS = ("ping", "info", "metrics", "health")
+ADMIN_OPS = protocol.ADMIN_OPS
+#: Ops broadcast to every replica with rolling semantics (swap_metric).
+CONTROL_OPS = protocol.CONTROL_OPS
 
 #: Error codes worth retrying on a different replica: the home shed
 #: (429), quarantined the chunk (500), or is draining/broken (503).
@@ -306,15 +309,18 @@ class PhastRouter:
             ))
         if op == "info":
             return await self._info(req_id)
-        if op not in WORK_OPS:
+        if op not in WORK_OPS and op not in CONTROL_OPS:
             return self._error(
                 req_id, protocol.BAD_REQUEST,
-                f"unknown op {op!r}; known: {WORK_OPS + ADMIN_OPS}",
+                f"unknown op {op!r}; known: "
+                f"{WORK_OPS + CONTROL_OPS + ADMIN_OPS}",
             )
         if self._draining:
             return self._error(req_id, protocol.UNAVAILABLE,
                                "router is draining")
         try:
+            if op in CONTROL_OPS:
+                return await self._broadcast_control(req_id, op, msg)
             return await self._route_work(req_id, op, msg)
         except asyncio.CancelledError:
             raise
@@ -471,6 +477,56 @@ class PhastRouter:
             f"no routable replica for {op} "
             f"({len(self.replicas)} configured, 0 accepting)",
         )
+
+    async def _broadcast_control(self, req_id, op: str, msg: dict) -> dict:
+        """Apply a control op (swap_metric) to every replica, rolling.
+
+        Replicas are updated **one at a time, sequentially**: while one
+        replica quiesces and swaps, the others keep answering on
+        whatever metric they hold, so the fleet never stops serving and
+        every individual answer is single-metric.  Cross-replica skew
+        during the roll is inherent to rolling updates; affinity
+        routing keeps a client's repeat keys pinned to one replica,
+        which bounds how visible the skew is.
+
+        The response reports per-replica outcomes.  ``ok`` is true only
+        when every replica (including ones currently out of rotation —
+        a held-out replica would otherwise re-enter with stale weights)
+        accepted the op.  On partial failure the operator re-issues the
+        swap (idempotent: a replica already on the new weights just
+        swaps to them again) or rolls back by swapping the old weights.
+        """
+        timeout = self._forward_timeout(msg)
+        results: dict[str, dict] = {}
+        failed = 0
+        for name, rep in list(self.replicas.items()):
+            try:
+                resp = await rep.link.request(msg, timeout)
+            except (ConnectionError, TimeoutError, OSError) as exc:
+                rep.record_failure()
+                self.metrics.record_replica_error(name)
+                failed += 1
+                results[name] = {
+                    "ok": False,
+                    "error": {"code": protocol.UNAVAILABLE,
+                              "message": f"replica {name} failed: {exc}"},
+                }
+                continue
+            rep.record_success()
+            if not resp.get("ok"):
+                failed += 1
+                self.metrics.record_replica_error(name)
+            results[name] = {
+                k: v for k, v in resp.items() if k not in ("id",)
+            }
+        if failed or not results:
+            return self._error(
+                req_id, protocol.UNAVAILABLE,
+                f"{op} failed on {failed} of {len(results)} replicas: "
+                + repr({n: r.get("error") for n, r in results.items()
+                        if not r.get("ok")}),
+            )
+        return protocol.ok_response(req_id, replicas=results)
 
 
 # ---------------------------------------------------------------------------

@@ -37,12 +37,40 @@ from __future__ import annotations
 import random
 import socket
 import time
+import warnings
 
 import numpy as np
 
 from . import protocol
 
 __all__ = ["ServerClient", "ServerError"]
+
+#: Default for optional wire fields: "the caller said nothing", as
+#: distinct from an explicit ``None`` (which travels as JSON null).
+_UNSET = "unset"
+
+
+def _shim(op: str, old_name: str, old_val, new_name: str, new_val):
+    """Accept a deprecated keyword alongside its replacement.
+
+    The typed wrappers moved to the unified plural keywords
+    (``sources``/``targets``); the singular forms still work so
+    existing callers don't break, but warn.  Exactly one of the two
+    must be given.
+    """
+    if old_val is not None:
+        if new_val is not None:
+            raise TypeError(
+                f"{op}() got both {new_name!r} and deprecated {old_name!r}"
+            )
+        warnings.warn(
+            f"{op}(..., {old_name}=) is deprecated; use {new_name}=",
+            DeprecationWarning, stacklevel=3,
+        )
+        return old_val
+    if new_val is None:
+        raise TypeError(f"{op}() missing required argument: {new_name!r}")
+    return new_val
 
 
 class ServerError(RuntimeError):
@@ -212,35 +240,87 @@ class ServerClient:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    # -- the four query types ---------------------------------------------
+    # -- unified call core -------------------------------------------------
 
-    def query(self, source: int, target: int, *, stall: bool = False,
-              timeout_ms: float | None = "unset") -> dict:
-        """Point-to-point distance: ``{"distance", "reachable", "settled"}``."""
-        params = {"source": source, "target": target, "stall": stall}
-        if timeout_ms != "unset":
-            params["timeout_ms"] = timeout_ms
-        return self.call("query", **params)
+    def _call(self, op: str, *, timeout: float | None = None,
+              **fields) -> dict:
+        """Registry-normalized request core every typed wrapper rides.
 
-    def tree(self, source: int, *, timeout_ms: float | None = "unset") -> np.ndarray:
-        """Full distance array from ``source`` (int64, INF = unreachable)."""
-        params = {"source": source}
-        if timeout_ms != "unset":
-            params["timeout_ms"] = timeout_ms
-        resp = self.call("tree", **params)
+        Field names follow the *unified* surface — ``sources`` /
+        ``targets`` everywhere — and are mapped onto the wire names the
+        op registry declares: an op whose wire field is the singular
+        ``source`` accepts a scalar or a length-1 sequence under
+        ``sources``; list-typed wire fields accept a scalar and wrap
+        it.  Fields left at the ``_UNSET`` sentinel are omitted from
+        the frame.  Unknown ops (a newer server) pass fields through
+        untouched.
+        """
+        spec = protocol.OPS_BY_NAME.get(op)
+        params: dict = {}
+        by_name = {p.name: p for p in spec.params} if spec else {}
+        by_alias = {
+            alias: p
+            for p in (spec.params if spec else ())
+            for alias in p.aliases
+        }
+        for key, value in fields.items():
+            if isinstance(value, str) and value == _UNSET:
+                continue
+            param = by_name.get(key) or by_alias.get(key)
+            if param is None:
+                params[key] = value
+                continue
+            if param.type == "vertex" and not isinstance(value, (int, np.integer)):
+                seq = list(value)
+                if len(seq) != 1:
+                    raise ValueError(
+                        f"op {op!r} takes exactly one {param.name}; "
+                        f"got {len(seq)} under {key!r}"
+                    )
+                value = seq[0]
+            elif param.type in ("vertex_list", "int_list"):
+                if isinstance(value, (int, np.integer)):
+                    value = [value]
+                value = [int(v) for v in value]
+            if param.type in ("vertex", "nonneg_int"):
+                value = int(value)
+            params[param.name] = value
+        return self.call(op, timeout=timeout, **params)
+
+    # -- the query types ---------------------------------------------------
+
+    def query(self, sources=None, targets=None, *, stall: bool = False,
+              timeout_ms: float | None = _UNSET,
+              source=None, target=None) -> dict:
+        """Point-to-point distance: ``{"distance", "reachable", "settled"}``.
+
+        ``sources``/``targets`` each take one vertex (scalar or
+        length-1 sequence).  The old ``source=``/``target=`` keywords
+        still work but are deprecated.
+        """
+        sources = _shim("query", "source", source, "sources", sources)
+        targets = _shim("query", "target", target, "targets", targets)
+        return self._call("query", sources=sources, targets=targets,
+                          stall=stall, timeout_ms=timeout_ms)
+
+    def tree(self, sources=None, *, timeout_ms: float | None = _UNSET,
+             source=None) -> np.ndarray:
+        """Full distance array from one source (int64, INF = unreachable)."""
+        sources = _shim("tree", "source", source, "sources", sources)
+        resp = self._call("tree", sources=sources, timeout_ms=timeout_ms)
         return np.asarray(resp["dist"], dtype=np.int64)
 
-    def one_to_many(self, source: int, targets, *,
-                    timeout_ms: float | None = "unset") -> np.ndarray:
-        """Distances from ``source`` to each of ``targets`` (int64)."""
-        params = {"source": source, "targets": [int(t) for t in targets]}
-        if timeout_ms != "unset":
-            params["timeout_ms"] = timeout_ms
-        resp = self.call("one_to_many", **params)
+    def one_to_many(self, sources=None, targets=None, *,
+                    timeout_ms: float | None = _UNSET,
+                    source=None) -> np.ndarray:
+        """Distances from one source to each of ``targets`` (int64)."""
+        sources = _shim("one_to_many", "source", source, "sources", sources)
+        resp = self._call("one_to_many", sources=sources, targets=targets,
+                          timeout_ms=timeout_ms)
         return np.asarray(resp["dist"], dtype=np.int64)
 
     def matrix(self, sources, targets, *, backend: str | None = None,
-               timeout_ms: float | None = "unset") -> np.ndarray:
+               timeout_ms: float | None = _UNSET) -> np.ndarray:
         """Travel-time matrix: row ``i`` = distances from ``sources[i]``
         to each of ``targets`` (int64, INF = unreachable).
 
@@ -248,25 +328,44 @@ class ServerClient:
         (cached restricted sweeps, the default) or ``"buckets"`` (the
         Knopp-style ablation baseline).
         """
-        params = {
-            "sources": [int(s) for s in sources],
-            "targets": [int(t) for t in targets],
-        }
-        if backend is not None:
-            params["backend"] = backend
-        if timeout_ms != "unset":
-            params["timeout_ms"] = timeout_ms
-        resp = self.call("matrix", **params)
+        resp = self._call(
+            "matrix", sources=sources, targets=targets,
+            backend=backend if backend is not None else _UNSET,
+            timeout_ms=timeout_ms,
+        )
         return np.asarray(resp["matrix"], dtype=np.int64)
 
-    def isochrone(self, source: int, budget: int, *,
-                  timeout_ms: float | None = "unset") -> np.ndarray:
-        """Sorted vertex ids within ``budget`` of ``source`` (int64)."""
-        params = {"source": source, "budget": int(budget)}
-        if timeout_ms != "unset":
-            params["timeout_ms"] = timeout_ms
-        resp = self.call("isochrone", **params)
+    def isochrone(self, sources=None, budget: int | None = None, *,
+                  timeout_ms: float | None = _UNSET,
+                  source=None) -> np.ndarray:
+        """Sorted vertex ids within ``budget`` of one source (int64)."""
+        sources = _shim("isochrone", "source", source, "sources", sources)
+        resp = self._call("isochrone", sources=sources, budget=budget,
+                          timeout_ms=timeout_ms)
         return np.asarray(resp["vertices"], dtype=np.int64)
+
+    # -- control -----------------------------------------------------------
+
+    def swap_metric(self, weights=None, *, path: str | None = None,
+                    timeout_ms: float | None = _UNSET,
+                    timeout: float | None = None) -> dict:
+        """Hot-swap the serving metric; returns the swap report.
+
+        Exactly one of ``weights`` (per-base-arc edge weights, any
+        integer sequence / NumPy array) or ``path`` (a metric artifact
+        on the *server's* filesystem, written by ``repro customize``)
+        must be given.  Against a router this rolls the swap over
+        every replica; the report then carries per-replica payloads.
+        """
+        fields: dict = {"timeout_ms": timeout_ms}
+        if weights is not None:
+            fields["weights"] = np.asarray(weights).tolist()
+        if path is not None:
+            fields["path"] = path
+        resp = self._call("swap_metric", timeout=timeout, **fields)
+        resp.pop("id", None)
+        resp.pop("ok", None)
+        return resp
 
     # -- admin -------------------------------------------------------------
 

@@ -38,6 +38,9 @@ class ServerMetrics:
         # Matrix (many-to-many) telemetry.
         self.matrix_requests = 0
         self.matrix_cells = 0
+        # Metric hot-swap telemetry.
+        self.swaps_total = 0
+        self.metric_generation = 0
 
     def uptime_seconds(self) -> float:
         """Monotonic seconds since this server instance constructed its
@@ -84,6 +87,12 @@ class ServerMetrics:
             self.matrix_requests += 1
             self.matrix_cells += int(cells)
 
+    def record_swap(self, generation: int) -> None:
+        """One completed metric hot swap; ``generation`` is the new one."""
+        with self._lock:
+            self.swaps_total += 1
+            self.metric_generation = int(generation)
+
     def snapshot(self, admission: dict | None = None,
                  pool: dict | None = None,
                  selection_cache: dict | None = None) -> dict:
@@ -112,6 +121,10 @@ class ServerMetrics:
                 "matrix": {
                     "requests": self.matrix_requests,
                     "cells_total": self.matrix_cells,
+                },
+                "swaps": {
+                    "total": self.swaps_total,
+                    "metric_generation": self.metric_generation,
                 },
             }
         if admission is not None:

@@ -26,15 +26,26 @@ import asyncio
 import json
 import socket
 import struct
+from dataclasses import dataclass, field
 
 __all__ = [
     "MAX_MESSAGE_BYTES",
+    "PROTOCOL_VERSION",
     "ProtocolError",
+    "RequestValidationError",
     "BAD_REQUEST",
     "OVERLOADED",
     "INTERNAL",
     "UNAVAILABLE",
     "DEADLINE",
+    "Param",
+    "OpSpec",
+    "OPS",
+    "OPS_BY_NAME",
+    "WORK_OPS",
+    "ADMIN_OPS",
+    "CONTROL_OPS",
+    "validate_request",
     "encode_message",
     "decode_body",
     "read_message",
@@ -44,6 +55,12 @@ __all__ = [
     "ok_response",
     "error_response",
 ]
+
+#: Bumped when the op set or a request/response shape changes in a way
+#: clients must feature-detect.  Version 2 added the registry itself,
+#: ``swap_metric``, and the ``protocol_version``/``ops`` fields in
+#: ``health``/``info``.
+PROTOCOL_VERSION = 2
 
 #: Hard cap on one frame; a full-tree response at paper scale (18M
 #: vertices) would not fit, but such deployments should use
@@ -164,3 +181,224 @@ def ok_response(req_id, **payload) -> dict:
 def error_response(req_id, code: int, message: str) -> dict:
     return {"id": req_id, "ok": False,
             "error": {"code": int(code), "message": str(message)}}
+
+
+# -- op registry -------------------------------------------------------------
+#
+# One declarative table describes every operation the protocol knows:
+# its kind (how it is admitted and routed), its request fields (how it
+# is validated), and its handler binding (which PhastService method
+# answers it).  The service's dispatch, the router's forwarding sets,
+# the client's field normalization, and the ``health``/``info``
+# feature-detection payloads are all derived from this table — adding
+# an op is one row, not five hand-synchronized edits.
+
+
+class RequestValidationError(ValueError):
+    """A request failed the registry's declarative validation (400)."""
+
+
+@dataclass(frozen=True)
+class Param:
+    """One request field of an op.
+
+    ``type`` is one of:
+
+    ``vertex``
+        An integer vertex id in ``[0, n)``.
+    ``vertex_list``
+        A non-empty list of vertex ids in ``[0, n)``.
+    ``nonneg_int``
+        An integer ``>= 0``.
+    ``int_list``
+        A non-empty list of integers ``>= 0`` (metric weights).
+    ``bool``
+        A JSON boolean.
+    ``str``
+        A string; constrain with ``choices``.
+    ``number_or_null``
+        A number or ``null`` (deadlines).
+    """
+
+    name: str
+    type: str
+    required: bool = True
+    default: object = None
+    choices: tuple = ()
+    #: Deprecated singular/plural spellings normalized onto this
+    #: field by clients (`sources`/`targets` unification).
+    aliases: tuple = ()
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """One operation: name, kind, request schema, handler binding.
+
+    ``kind`` drives admission and routing:
+
+    ``work``
+        Shortest-path work.  Passes admission control on the server;
+        the router forwards it to one replica (with failover).
+    ``admin``
+        Read-only introspection.  Answered even while draining;
+        answered at the router (or proxied) without admission.
+    ``control``
+        Mutates serving state (``swap_metric``).  Runs as an exclusive
+        batcher request on the server; the router broadcasts it to
+        every replica with rolling semantics.
+    """
+
+    name: str
+    kind: str
+    handler: str
+    summary: str = ""
+    params: tuple = field(default_factory=tuple)
+
+
+_TIMEOUT = Param("timeout_ms", "number_or_null", required=False,
+                 default="unset")
+
+OPS: tuple[OpSpec, ...] = (
+    OpSpec(
+        "query", "work", "_run_query",
+        "point-to-point distance via the bidirectional CH search",
+        params=(
+            Param("source", "vertex", aliases=("sources",)),
+            Param("target", "vertex", aliases=("targets",)),
+            Param("stall", "bool", required=False, default=False),
+            _TIMEOUT,
+        ),
+    ),
+    OpSpec(
+        "tree", "work", "_run_sweep",
+        "full shortest path tree from one source",
+        params=(
+            Param("source", "vertex", aliases=("sources",)),
+            _TIMEOUT,
+        ),
+    ),
+    OpSpec(
+        "one_to_many", "work", "_run_sweep",
+        "distances from one source to a target list",
+        params=(
+            Param("source", "vertex", aliases=("sources",)),
+            Param("targets", "vertex_list"),
+            _TIMEOUT,
+        ),
+    ),
+    OpSpec(
+        "isochrone", "work", "_run_sweep",
+        "vertices within a budget of one source",
+        params=(
+            Param("source", "vertex", aliases=("sources",)),
+            Param("budget", "nonneg_int"),
+            _TIMEOUT,
+        ),
+    ),
+    OpSpec(
+        "matrix", "work", "_run_matrix",
+        "k x m travel-time matrix over a cached restricted selection",
+        params=(
+            Param("sources", "vertex_list"),
+            Param("targets", "vertex_list"),
+            Param("backend", "str", required=False, default="rphast",
+                  choices=("rphast", "buckets")),
+            _TIMEOUT,
+        ),
+    ),
+    OpSpec(
+        "swap_metric", "control", "_run_swap",
+        "hot-swap edge weights over the resident topology",
+        params=(
+            Param("weights", "int_list", required=False),
+            Param("path", "str", required=False),
+            _TIMEOUT,
+        ),
+    ),
+    OpSpec("ping", "admin", "_admin_ping", "liveness"),
+    OpSpec("info", "admin", "_admin_info", "instance facts"),
+    OpSpec("metrics", "admin", "_admin_metrics", "serving statistics"),
+    OpSpec("health", "admin", "_admin_health", "readiness"),
+)
+
+OPS_BY_NAME: dict[str, OpSpec] = {spec.name: spec for spec in OPS}
+WORK_OPS: tuple[str, ...] = tuple(s.name for s in OPS if s.kind == "work")
+ADMIN_OPS: tuple[str, ...] = tuple(s.name for s in OPS if s.kind == "admin")
+CONTROL_OPS: tuple[str, ...] = tuple(
+    s.name for s in OPS if s.kind == "control"
+)
+
+
+def _validate_vertex(name: str, value, n: int) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise RequestValidationError(f"{name!r} must be an integer")
+    if not 0 <= value < n:
+        raise RequestValidationError(
+            f"{name!r} must be a vertex id in [0, {n}) (got {value})"
+        )
+    return value
+
+
+def _validate_param(param: Param, value, n: int):
+    name = param.name
+    kind = param.type
+    if kind == "vertex":
+        return _validate_vertex(name, value, n)
+    if kind == "vertex_list":
+        if not isinstance(value, list) or not value:
+            raise RequestValidationError(
+                f"{name!r} must be a non-empty list of vertex ids in [0, {n})"
+            )
+        return [_validate_vertex(name, v, n) for v in value]
+    if kind == "nonneg_int":
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            raise RequestValidationError(f"{name!r} must be an integer >= 0")
+        return value
+    if kind == "int_list":
+        if (not isinstance(value, list) or not value
+                or not all(isinstance(v, int) and not isinstance(v, bool)
+                           and v >= 0 for v in value)):
+            raise RequestValidationError(
+                f"{name!r} must be a non-empty list of integers >= 0"
+            )
+        return value
+    if kind == "bool":
+        if not isinstance(value, bool):
+            raise RequestValidationError(f"{name!r} must be a boolean")
+        return value
+    if kind == "str":
+        if not isinstance(value, str):
+            raise RequestValidationError(f"{name!r} must be a string")
+        if param.choices and value not in param.choices:
+            raise RequestValidationError(
+                f"unknown {name} {value!r}; known: {param.choices}"
+            )
+        return value
+    if kind == "number_or_null":
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise RequestValidationError(
+                f"{name!r} must be a number or null"
+            )
+        return value
+    raise AssertionError(f"unknown param type {kind!r}")
+
+
+def validate_request(spec: OpSpec, msg: dict, n: int) -> dict:
+    """Parse one request against ``spec``; raises on the first bad field.
+
+    Returns the validated fields by name.  Absent optional fields get
+    their declared defaults (``timeout_ms`` defaults to the sentinel
+    ``"unset"`` so the server can distinguish "no field" from an
+    explicit ``null``).
+    """
+    fields: dict = {}
+    for param in spec.params:
+        if param.name in msg:
+            fields[param.name] = _validate_param(param, msg[param.name], n)
+        elif param.required:
+            raise RequestValidationError(f"missing required field {param.name!r}")
+        else:
+            fields[param.name] = param.default
+    return fields

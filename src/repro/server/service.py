@@ -64,12 +64,14 @@ from .scheduler import (
 
 __all__ = ["ServerConfig", "PhastService", "ServerHandle", "serve_in_thread"]
 
-#: Ops that perform shortest-path work (and thus pass admission).
-WORK_OPS = ("query", "tree", "one_to_many", "isochrone", "matrix")
+#: Derived from the declarative op registry (single source of truth);
+#: re-exported here because the serving stack historically imported
+#: them from this module.
+WORK_OPS = protocol.WORK_OPS
+ADMIN_OPS = protocol.ADMIN_OPS
+CONTROL_OPS = protocol.CONTROL_OPS
 #: Matrix backends: restricted sweeps (default) vs Knopp buckets.
 MATRIX_BACKENDS = ("rphast", "buckets")
-#: Ops answered even while draining.
-ADMIN_OPS = ("ping", "info", "metrics", "health")
 
 
 @dataclass
@@ -143,29 +145,6 @@ class _BadRequest(Exception):
     pass
 
 
-def _require_int(msg: dict, key: str, *, lo: int | None = None,
-                 hi: int | None = None) -> int:
-    value = msg.get(key)
-    if isinstance(value, bool) or not isinstance(value, int):
-        raise _BadRequest(f"{key!r} must be an integer")
-    if lo is not None and value < lo:
-        raise _BadRequest(f"{key!r} must be >= {lo} (got {value})")
-    if hi is not None and value >= hi:
-        raise _BadRequest(f"{key!r} must be < {hi} (got {value})")
-    return value
-
-
-def _require_vertex_list(msg: dict, key: str, n: int) -> list[int]:
-    values = msg.get(key)
-    if (not isinstance(values, list) or not values
-            or not all(isinstance(v, int) and not isinstance(v, bool)
-                       and 0 <= v < n for v in values)):
-        raise _BadRequest(
-            f"{key!r} must be a non-empty list of vertex ids in [0, {n})"
-        )
-    return values
-
-
 class PhastService:
     """A resident hierarchy answering a stream of concurrent queries.
 
@@ -173,14 +152,33 @@ class PhastService:
     ----------
     ch:
         The preprocessed :class:`~repro.ch.hierarchy.ContractionHierarchy`.
+        May be ``None`` when ``topology`` + ``metric`` are given.
+    topology:
+        A :class:`~repro.ch.CHTopology`.  Keeping it resident is what
+        enables the ``swap_metric`` op: a swap customizes new weights
+        over this fixed structure on the serving host.  When ``ch`` is
+        ``None``, the initial hierarchy is instantiated from
+        ``topology`` + ``metric``.
+    metric:
+        The initial :class:`~repro.ch.CHMetric` (required iff ``ch``
+        is ``None`` and ``topology`` is given).
     graph:
         The original graph (optional; only reported by ``info``).
     config:
         A :class:`ServerConfig`; defaults serve a single-host setup.
     """
 
-    def __init__(self, ch, *, graph=None, config: ServerConfig | None = None) -> None:
+    def __init__(self, ch=None, *, topology=None, metric=None, graph=None,
+                 config: ServerConfig | None = None) -> None:
         self.config = config or ServerConfig()
+        self.topology = topology
+        if ch is None:
+            if topology is None or metric is None:
+                raise ValueError(
+                    "PhastService needs either a hierarchy or a "
+                    "topology + metric pair"
+                )
+            ch = topology.instantiate(metric)
         self.ch = ch
         self.n = int(ch.n)
         self.graph = graph
@@ -316,9 +314,13 @@ class PhastService:
         """The cached (engine, publication) for a target set, built on miss.
 
         Runs on the batcher dispatch thread only (exclusive request),
-        which serializes cache access and pool publication.
+        which serializes cache access and pool publication.  Keys are
+        prefixed with the metric generation: a selection embeds copied
+        arc weights, so an entry built under generation g must never
+        answer a request under generation g+1.
         """
-        key = SelectionCache.key_of(targets)
+        key = (f"g{self.pool.metric_generation}:"
+               + SelectionCache.key_of(targets))
         entry = self.selections.get(key)
         if entry is None:
             engine = RPhastEngine(self.ch, targets).freeze()
@@ -410,13 +412,18 @@ class PhastService:
         if not isinstance(op, str):
             return self._error(req_id, protocol.BAD_REQUEST, "missing 'op'")
         self.metrics.record_request(op)
-        if op in ADMIN_OPS:
-            return self._admin(req_id, op)
-        if op not in WORK_OPS:
+        spec = protocol.OPS_BY_NAME.get(op)
+        if spec is None:
             return self._error(
                 req_id, protocol.BAD_REQUEST,
-                f"unknown op {op!r}; known: {WORK_OPS + ADMIN_OPS}",
+                f"unknown op {op!r}; known: "
+                f"{tuple(s.name for s in protocol.OPS)}",
             )
+        if spec.kind == "admin":
+            return getattr(self, spec.handler)(req_id)
+        # work and control ops both pass admission: control mutates
+        # serving state and must be refused while draining exactly
+        # like work, and counting it keeps the drain loop exact.
         reason = self.admission.try_acquire()
         if reason is not None:
             code = (protocol.UNAVAILABLE
@@ -424,8 +431,11 @@ class PhastService:
                     else protocol.OVERLOADED)
             return self._error(req_id, code, f"request rejected: {reason}")
         try:
-            response = await self._run_work(req_id, op, msg)
-        except _BadRequest as exc:
+            fields = protocol.validate_request(spec, msg, self.n)
+            response = await getattr(self, spec.handler)(
+                req_id, op, msg, fields
+            )
+        except (protocol.RequestValidationError, _BadRequest) as exc:
             response = self._error(req_id, protocol.BAD_REQUEST, str(exc))
         except DeadlineExceeded as exc:
             response = self._error(req_id, protocol.DEADLINE, str(exc))
@@ -456,24 +466,34 @@ class PhastService:
         self.metrics.record_error(code)
         return protocol.error_response(req_id, code, message)
 
-    def _admin(self, req_id, op: str) -> dict:
-        if op == "ping":
-            return protocol.ok_response(req_id, pong=True)
-        if op == "info":
-            return protocol.ok_response(
-                req_id,
-                n=self.n,
-                m=int(self.graph.m) if self.graph is not None else None,
-                batching=self.config.batching,
-                batch_max=self.config.batch_max,
-                max_wait_ms=self.config.max_wait_ms,
-                workers=self.pool.num_workers,
-                serial_pool=self.pool.serial,
-                selection_cache=self.config.selection_cache,
-                draining=self._draining,
-            )
-        if op == "health":
-            return protocol.ok_response(req_id, **self._health())
+    # -- admin handlers (bound via the op registry) ------------------------
+
+    def _admin_ping(self, req_id) -> dict:
+        return protocol.ok_response(req_id, pong=True)
+
+    def _admin_info(self, req_id) -> dict:
+        return protocol.ok_response(
+            req_id,
+            n=self.n,
+            m=int(self.graph.m) if self.graph is not None else None,
+            protocol_version=protocol.PROTOCOL_VERSION,
+            ops=list(protocol.WORK_OPS + protocol.CONTROL_OPS
+                     + protocol.ADMIN_OPS),
+            metric_generation=self.pool.metric_generation,
+            topology_resident=self.topology is not None,
+            batching=self.config.batching,
+            batch_max=self.config.batch_max,
+            max_wait_ms=self.config.max_wait_ms,
+            workers=self.pool.num_workers,
+            serial_pool=self.pool.serial,
+            selection_cache=self.config.selection_cache,
+            draining=self._draining,
+        )
+
+    def _admin_health(self, req_id) -> dict:
+        return protocol.ok_response(req_id, **self._health())
+
+    def _admin_metrics(self, req_id) -> dict:
         pool_health = self.pool.health()
         return protocol.ok_response(
             req_id,
@@ -518,6 +538,11 @@ class PhastService:
             "status": status,
             "ready": not self._draining and capacity > 0.0,
             "capacity": capacity,
+            "protocol_version": protocol.PROTOCOL_VERSION,
+            "ops": list(protocol.WORK_OPS + protocol.CONTROL_OPS
+                        + protocol.ADMIN_OPS),
+            "metric_generation": self.pool.metric_generation,
+            "topology_resident": self.topology is not None,
             "uptime_seconds": self.metrics.uptime_seconds(),
             "address": f"{self.host}:{self.port}",
             "pid": os.getpid(),
@@ -533,35 +558,28 @@ class PhastService:
             raise _BadRequest("'timeout_ms' must be a number or null")
         return time.monotonic() + float(timeout_ms) / 1e3
 
-    async def _run_work(self, req_id, op: str, msg: dict) -> dict:
+    async def _run_sweep(self, req_id, op: str, msg: dict,
+                         fields: dict) -> dict:
         deadline = self._deadline(msg)
-        if op == "query":
-            return await self._run_query(req_id, msg, deadline)
-        if op == "matrix":
-            return await self._run_matrix(req_id, msg, deadline)
-        source = _require_int(msg, "source", lo=0, hi=self.n)
+        source = fields["source"]
         if op == "tree":
             finalize = _finalize_tree
         elif op == "one_to_many":
-            targets = _require_vertex_list(msg, "targets", self.n)
-            idx = np.asarray(targets, dtype=np.int64)
+            idx = np.asarray(fields["targets"], dtype=np.int64)
             finalize = lambda row, idx=idx: {"dist": row[idx].tolist()}
         else:  # isochrone
-            budget = _require_int(msg, "budget", lo=0)
+            budget = fields["budget"]
             finalize = lambda row, budget=budget: _finalize_isochrone(row, budget)
         request = SweepRequest(op, source, finalize, deadline=deadline)
         self.batcher.submit(request)
         payload = await request.future
         return protocol.ok_response(req_id, **payload)
 
-    async def _run_matrix(self, req_id, msg: dict, deadline) -> dict:
-        sources = _require_vertex_list(msg, "sources", self.n)
-        targets = _require_vertex_list(msg, "targets", self.n)
-        backend = msg.get("backend", "rphast")
-        if backend not in MATRIX_BACKENDS:
-            raise _BadRequest(
-                f"unknown matrix backend {backend!r}; known: {MATRIX_BACKENDS}"
-            )
+    async def _run_matrix(self, req_id, op: str, msg: dict,
+                          fields: dict) -> dict:
+        deadline = self._deadline(msg)
+        sources, targets = fields["sources"], fields["targets"]
+        backend = fields["backend"]
         request = SweepRequest(
             "matrix", -1, None, deadline=deadline,
             execute=lambda: self._matrix_payload(sources, targets, backend),
@@ -570,16 +588,21 @@ class PhastService:
         payload = await request.future
         return protocol.ok_response(req_id, **payload)
 
-    async def _run_query(self, req_id, msg: dict, deadline) -> dict:
-        source = _require_int(msg, "source", lo=0, hi=self.n)
-        target = _require_int(msg, "target", lo=0, hi=self.n)
-        stall = bool(msg.get("stall", False))
+    async def _run_query(self, req_id, op: str, msg: dict,
+                         fields: dict) -> dict:
+        deadline = self._deadline(msg)
+        source, target = fields["source"], fields["target"]
+        stall = fields["stall"]
         if deadline is not None and time.monotonic() >= deadline:
             raise DeadlineExceeded("deadline exceeded on arrival")
         loop = asyncio.get_running_loop()
+        # Capture the hierarchy once: a concurrent swap_metric replaces
+        # self.ch, and reading it exactly once pins this answer to a
+        # single metric generation (old or new, never a mix).
+        ch = self.ch
         result = await loop.run_in_executor(
             self._executor,
-            lambda: ch_query(self.ch, source, target, stall=stall),
+            lambda: ch_query(ch, source, target, stall=stall),
         )
         distance = int(result.distance)
         return protocol.ok_response(
@@ -588,6 +611,73 @@ class PhastService:
             reachable=distance < int(INF),
             settled=int(result.settled_forward + result.settled_backward),
         )
+
+    # -- metric hot swap ---------------------------------------------------
+
+    async def _run_swap(self, req_id, op: str, msg: dict,
+                        fields: dict) -> dict:
+        deadline = self._deadline(msg)
+        weights, path = fields["weights"], fields["path"]
+        if (weights is None) == (path is None):
+            raise _BadRequest(
+                "swap_metric takes exactly one of 'weights' (inline base-arc"
+                " weights) or 'path' (a saved metric artifact)"
+            )
+        if self.topology is None:
+            raise _BadRequest(
+                "this server holds no topology artifact; start it from a "
+                "topology + metric (repro serve --topology ...) to enable "
+                "swap_metric"
+            )
+        # Exclusive batcher request: runs alone on the dispatch thread,
+        # strictly between micro-batches — the quiesce point the pool's
+        # swap_metric() requires.  Queued sweeps before it finish on
+        # the old metric; sweeps after it run on the new one.
+        request = SweepRequest(
+            "swap_metric", -1, None, deadline=deadline,
+            execute=lambda: self._swap_payload(weights, path),
+        )
+        self.batcher.submit(request)
+        payload = await request.future
+        return protocol.ok_response(req_id, **payload)
+
+    def _swap_payload(self, weights, path) -> dict:
+        """Customize + instantiate + pool swap (dispatch thread, exclusive)."""
+        from ..ch.customize import customize
+        from ..graph.serialize import load_metric
+
+        t0 = time.monotonic()
+        if path is not None:
+            metric = load_metric(path, topology=self.topology)
+        else:
+            w = np.asarray(weights, dtype=np.int64)
+            if w.shape != (self.topology.num_base_arcs,):
+                raise _BadRequest(
+                    f"'weights' must have one entry per base arc "
+                    f"({self.topology.num_base_arcs}, got {w.size})"
+                )
+            metric = customize(self.topology, w)
+        t1 = time.monotonic()
+        new_ch = self.topology.instantiate(metric)
+        t2 = time.monotonic()
+        generation = self.pool.swap_metric(new_ch)
+        # Point-to-point queries capture self.ch per request; from here
+        # on every new capture sees the new metric.
+        self.ch = new_ch
+        # Published RPHAST selections embed copied arc lengths, so the
+        # whole cache is stale: clearing retires every publication
+        # (via on_evict) and the generation-prefixed keys below make a
+        # post-swap request rebuild rather than resurrect by hash.
+        self.selections.clear()
+        t3 = time.monotonic()
+        self.metrics.record_swap(generation)
+        return {
+            "metric_generation": generation,
+            "customize_seconds": t1 - t0,
+            "instantiate_seconds": t2 - t1,
+            "swap_seconds": t3 - t2,
+            "source": "artifact" if path is not None else "inline",
+        }
 
 
 def _finalize_tree(row: np.ndarray) -> dict:
